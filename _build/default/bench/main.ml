@@ -1,0 +1,227 @@
+(* The benchmark harness: Bechamel micro-benchmarks of every computational
+   kernel, followed by the regeneration of each table and figure of the
+   paper's evaluation (see DESIGN.md, per-experiment index E1-E8).
+
+   The campaign scale is controlled by environment variables:
+     INTO_OA_FULL=1        paper scale (10 runs, 50 iterations, pool 200)
+     INTO_OA_RUNS=n        number of repetitions (default 3)
+     INTO_OA_ITERS=n       BO iterations (default 25)
+     INTO_OA_POOL=n        candidate pool (default 100)
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+
+module Spec = Into_circuit.Spec
+module Topology = Into_circuit.Topology
+module Params = Into_circuit.Params
+module Netlist = Into_circuit.Netlist
+module Methods = Into_experiments.Methods
+module Campaign = Into_experiments.Campaign
+module Report = Into_experiments.Report
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* --- E8: micro-benchmarks --- *)
+
+let nmc_netlist =
+  let topo = Topology.nmc () in
+  let schema = Params.schema topo in
+  Netlist.build topo ~sizing:(Params.denormalize schema (Params.default_point schema))
+    ~cl_f:10e-12
+
+let full_topology =
+  Topology.make
+    ~vin_v2:
+      (Into_circuit.Subcircuit.Gm_with
+         ( Into_circuit.Subcircuit.Minus,
+           Into_circuit.Subcircuit.Forward,
+           Into_circuit.Subcircuit.Res,
+           Into_circuit.Subcircuit.Series ))
+    ~vin_vout:(Into_circuit.Subcircuit.Gm (Into_circuit.Subcircuit.Plus, Into_circuit.Subcircuit.Forward))
+    ~v1_vout:(Into_circuit.Subcircuit.Passive (Into_circuit.Subcircuit.Rc Into_circuit.Subcircuit.Series))
+    ~v1_gnd:(Into_circuit.Subcircuit.Passive Into_circuit.Subcircuit.Single_c)
+    ~v2_gnd:(Into_circuit.Subcircuit.Passive Into_circuit.Subcircuit.Single_r)
+
+let bench_tests =
+  let rng = Into_util.Rng.create ~seed:1 in
+  let dict = Into_graph.Wl.create_dict () in
+  let graphs =
+    Array.init 30 (fun _ -> Into_graph.Circuit_graph.build (Topology.random rng))
+  in
+  let feats = Array.map (fun g -> Into_graph.Wl.extract dict ~h:2 g) graphs in
+  let y = Array.init 30 (fun i -> sin (float_of_int i)) in
+  let gram = Into_graph.Wl_kernel.gram feats in
+  let full_graph = Into_graph.Circuit_graph.build full_topology in
+  let sizing_rng = Into_util.Rng.create ~seed:2 in
+  [
+    Test.make ~name:"topology index round trip"
+      (Staged.stage (fun () -> Topology.to_index (Topology.of_index 12345)));
+    Test.make ~name:"circuit graph build"
+      (Staged.stage (fun () -> Into_graph.Circuit_graph.build full_topology));
+    Test.make ~name:"wl features (h=2, 13 nodes)"
+      (Staged.stage (fun () -> Into_graph.Wl.extract dict ~h:2 full_graph));
+    Test.make ~name:"wl gram matrix (30 graphs)"
+      (Staged.stage (fun () -> Into_graph.Wl_kernel.gram feats));
+    Test.make ~name:"gp fit (n=30)"
+      (Staged.stage (fun () -> Into_gp.Gp.fit ~gram ~y ~signal:1.0 ~noise:1e-3));
+    Test.make ~name:"mna solve (1 MHz)"
+      (Staged.stage (fun () -> Into_circuit.Mna.transfer nmc_netlist ~freq_hz:1e6));
+    Test.make ~name:"full ac analysis"
+      (Staged.stage (fun () -> Into_circuit.Ac.analyze nmc_netlist));
+    Test.make ~name:"candidate pool (mixed, 200)"
+      (Staged.stage (fun () ->
+           Into_core.Candidates.generate ~rng:sizing_rng
+             ~strategy:Into_core.Candidates.Mixed ~pool:200 ~best:[ Topology.nmc () ]
+             ~visited:(fun _ -> false)));
+  ]
+
+let run_microbenchmarks () =
+  section "E8: micro-benchmarks (Bechamel, monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Toolkit.Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | Some _ | None -> Float.nan
+          in
+          Printf.printf "  %-32s %12.1f ns/run\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    bench_tests
+
+(* --- E1-E4: specification sets, optimization campaign --- *)
+
+let run_campaign scale =
+  section "E1: Table I";
+  print_endline (Report.table1 ());
+  section
+    (Printf.sprintf
+       "E2-E4: optimization campaign (%d runs, %d iterations, pool %d; set INTO_OA_FULL=1 for paper scale)"
+       scale.Methods.runs scale.Methods.iterations scale.Methods.pool);
+  let campaign =
+    Campaign.execute ~progress:(fun s -> Printf.eprintf "  [%s]\n%!" s) ~scale ~seed:2025 ()
+  in
+  List.iter
+    (fun spec ->
+      print_newline ();
+      print_endline (Report.fig5 campaign spec))
+    Spec.all;
+  (* The S-1 panel of Fig. 5 as an actual (text) plot. *)
+  print_newline ();
+  print_endline "Fig. 5 (S-1 panel, plotted):";
+  let series =
+    List.map
+      (fun (name, pts) ->
+        (name, List.filter_map (fun (s, f, n) -> if n > 0 then Some (float_of_int s, f) else None) pts))
+      (Campaign.fig5_series campaign Spec.s1 ~grid_step:120)
+  in
+  print_string (Into_util.Ascii_plot.plot ~x_label:"# simulations" ~y_label:"FoM" series);
+  print_newline ();
+  print_endline (Report.table2 campaign);
+  print_newline ();
+  print_endline
+    (Report.table3 campaign ~methods:[ Methods.Fe_ga; Methods.Vgae_bo; Methods.Into_oa ]);
+  (* CSV artifacts for downstream processing. *)
+  (try
+     Into_experiments.Csv.write_file ~path:"campaign_runs.csv"
+       (Into_experiments.Csv.campaign_runs campaign);
+     Into_experiments.Csv.write_file ~path:"campaign_table2.csv"
+       (Into_experiments.Csv.campaign_table2 campaign);
+     print_endline "\n(wrote campaign_runs.csv and campaign_table2.csv)"
+   with Sys_error msg -> Printf.eprintf "csv export failed: %s\n" msg);
+  campaign
+
+(* --- E8b: ablations over INTO-OA's own design choices --- *)
+
+let run_ablations scale =
+  section "E8b: ablation study (WL depth, wEI weight, pool size) on S-4";
+  let scale = { scale with Methods.runs = min scale.Methods.runs 4 } in
+  let rows =
+    Into_experiments.Ablation.run
+      ~progress:(fun s -> Printf.eprintf "  [%s]\n%!" s)
+      ~spec:Spec.s4 ~scale ~seed:777 ()
+  in
+  print_endline (Into_experiments.Ablation.report Spec.s4 rows)
+
+(* --- E5: gradients vs sensitivity --- *)
+
+let run_interpretability scale =
+  section "E5: identification of critical structures (Section IV-B)";
+  (* A dedicated INTO-OA run keeps its WL-GP surrogates for the analysis. *)
+  let rng = Into_util.Rng.create ~seed:44 in
+  let config =
+    {
+      (Into_core.Topo_bo.default_config Into_core.Candidates.Mixed) with
+      Into_core.Topo_bo.n_init = scale.Methods.n_init;
+      iterations = scale.Methods.iterations;
+      pool = scale.Methods.pool;
+    }
+  in
+  let r = Into_core.Topo_bo.run ~config ~rng ~spec:Spec.s4 () in
+  match r.Into_core.Topo_bo.best with
+  | None -> print_endline "  (no feasible S-4 design found at this scale)"
+  | Some design ->
+    let report =
+      Into_experiments.Interpret_exp.analyze ~models:r.Into_core.Topo_bo.models
+        ~spec:Spec.s4 ~design
+    in
+    print_endline (Report.gradients report)
+
+(* --- E6: refinement --- *)
+
+let run_refinement scale =
+  section "E6: topology refinement of C1 and C2 under S-5 (Fig. 7, Table IV)";
+  let rng = Into_util.Rng.create ~seed:45 in
+  let report = Into_experiments.Refine_exp.run ~scale ~rng () in
+  Printf.printf "  (surrogate training: %d simulations from an S-5 INTO-OA run)\n\n"
+    report.Into_experiments.Refine_exp.models_sims;
+  print_endline (Report.table4 report);
+  report
+
+(* --- E7: transistor level --- *)
+
+let run_tlevel campaign refinement =
+  section "E7: transistor-level validation (Table V)";
+  let rows =
+    Into_experiments.Tlevel_exp.from_campaign campaign
+      ~methods:[ Methods.Fe_ga; Methods.Vgae_bo; Methods.Into_oa ]
+    @ Into_experiments.Tlevel_exp.from_refinements refinement
+  in
+  print_endline (Report.table5 rows)
+
+(* --- E9: surrogate quality --- *)
+
+let run_surrogate_quality scale =
+  section "E9: held-out surrogate quality (WL-GP vs continuous embedding)";
+  let sizing_config =
+    {
+      Into_core.Sizing.default_config with
+      Into_core.Sizing.n_init = scale.Methods.sizing_init;
+      n_iter = scale.Methods.sizing_iters;
+    }
+  in
+  let r =
+    Into_experiments.Surrogate_exp.run
+      ~progress:(fun s -> Printf.eprintf "  [%s]\n%!" s)
+      ~n_train:60 ~n_test:30 ~spec:Spec.s1 ~sizing_config ~seed:99 ()
+  in
+  print_endline (Into_experiments.Surrogate_exp.render Spec.s1 r)
+
+let () =
+  run_microbenchmarks ();
+  let scale = Methods.scale_of_env () in
+  let campaign = run_campaign scale in
+  run_interpretability scale;
+  let refinement = run_refinement scale in
+  run_tlevel campaign refinement;
+  run_ablations scale;
+  run_surrogate_quality scale;
+  print_newline ()

@@ -1,0 +1,232 @@
+(* The INTO-OA command-line interface.
+
+   Subcommands:
+     specs      - print the Table I specification sets
+     optimize   - run a topology-optimization method on a spec
+     evaluate   - size and report one topology (by design-space index)
+     refine     - refine the C1/C2 legacy designs for S-5
+     tables     - regenerate the paper's tables (thin wrapper over the
+                  experiment harness; see also bench/main.exe)                *)
+
+open Cmdliner
+
+module Spec = Into_circuit.Spec
+module Topology = Into_circuit.Topology
+module Perf = Into_circuit.Perf
+module Methods = Into_experiments.Methods
+
+let spec_conv =
+  let parse s =
+    match Spec.find s with
+    | spec -> Ok spec
+    | exception Not_found ->
+      Error (`Msg (Printf.sprintf "unknown spec %S (expected S-1 .. S-5)" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt s.Spec.name)
+
+let method_conv =
+  let parse s =
+    match List.find_opt (fun m -> String.equal (Methods.name m) s) Methods.all with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown method %S (expected %s)" s
+             (String.concat ", " (List.map Methods.name Methods.all))))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (Methods.name m))
+
+let spec_arg =
+  Arg.(value & opt spec_conv Spec.s1 & info [ "spec" ] ~docv:"SPEC" ~doc:"Specification set (S-1 .. S-5).")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let iterations_arg =
+  Arg.(value & opt int 50 & info [ "iterations" ] ~docv:"N" ~doc:"Search iterations.")
+
+let pool_arg =
+  Arg.(value & opt int 200 & info [ "pool" ] ~docv:"N" ~doc:"Candidate pool size.")
+
+(* --- specs --- *)
+
+let specs_cmd =
+  let run () = List.iter (fun s -> print_endline (Spec.to_string s)) Spec.all in
+  Cmd.v (Cmd.info "specs" ~doc:"Print the Table I specification sets.")
+    Term.(const run $ const ())
+
+(* --- optimize --- *)
+
+let optimize method_id spec seed iterations pool verbose =
+  let scale =
+    { (Methods.scale_of_env ()) with Methods.runs = 1; iterations; pool }
+  in
+  let rng = Into_util.Rng.create ~seed in
+  let trace = Methods.run method_id ~scale ~rng ~spec in
+  if verbose then
+    List.iter
+      (fun (s : Into_core.Topo_bo.step) ->
+        Printf.printf "iter %2d  #sim %4d  best %s  %s\n" s.Into_core.Topo_bo.iteration
+          s.Into_core.Topo_bo.cumulative_sims
+          (match s.Into_core.Topo_bo.best_fom_so_far with
+          | Some f -> Printf.sprintf "%10.1f" f
+          | None -> "         -")
+          (match s.Into_core.Topo_bo.evaluation with
+          | Some e -> Topology.to_string e.Into_core.Evaluator.topology
+          | None -> "(simulation failure)"))
+      trace.Methods.steps;
+  Printf.printf "%s on %s: %d simulations\n" (Methods.name method_id) spec.Spec.name
+    trace.Methods.total_sims;
+  match trace.Methods.best with
+  | None -> print_endline "No feasible design found."
+  | Some e ->
+    Printf.printf "Best design: %s\n  %s\n"
+      (Topology.to_string e.Into_core.Evaluator.topology)
+      (Perf.to_string e.Into_core.Evaluator.perf ~cl_f:spec.Spec.cl_f)
+
+let optimize_cmd =
+  let method_arg =
+    Arg.(value & opt method_conv Methods.Into_oa
+         & info [ "method" ] ~docv:"METHOD" ~doc:"Optimization method.")
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the trace.") in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Run topology optimization on a specification.")
+    Term.(const optimize $ method_arg $ spec_arg $ seed_arg $ iterations_arg $ pool_arg $ verbose_arg)
+
+(* --- evaluate --- *)
+
+let evaluate index spec seed =
+  match Topology.of_index index with
+  | exception Invalid_argument _ ->
+    Printf.eprintf "index out of range (0 .. %d)\n" (Topology.space_size - 1);
+    exit 1
+  | topo ->
+    Printf.printf "Topology %d: %s\n" index (Topology.to_string topo);
+    let rng = Into_util.Rng.create ~seed in
+    (match Into_core.Evaluator.evaluate ~rng ~spec topo with
+    | None -> print_endline "Every sizing attempt failed to simulate."
+    | Some e ->
+      Printf.printf "%s\nfeasible for %s: %b  (%d simulations)\n"
+        (Perf.to_string e.Into_core.Evaluator.perf ~cl_f:spec.Spec.cl_f)
+        spec.Spec.name e.Into_core.Evaluator.feasible e.Into_core.Evaluator.n_sims)
+
+let evaluate_cmd =
+  let index_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"INDEX" ~doc:"Design-space index.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Size one topology (by index) for a specification.")
+    Term.(const evaluate $ index_arg $ spec_arg $ seed_arg)
+
+(* --- refine --- *)
+
+let refine seed iterations pool =
+  let scale = { (Methods.scale_of_env ()) with Methods.iterations; pool } in
+  let rng = Into_util.Rng.create ~seed in
+  let report = Into_experiments.Refine_exp.run ~scale ~rng () in
+  print_endline (Into_experiments.Report.table4 report)
+
+let refine_cmd =
+  Cmd.v
+    (Cmd.info "refine" ~doc:"Refine the C1/C2 legacy designs to meet S-5 (Table IV).")
+    Term.(const refine $ seed_arg $ iterations_arg $ pool_arg)
+
+(* --- analyze --- *)
+
+let analyze index spec seed spice =
+  match Topology.of_index index with
+  | exception Invalid_argument _ ->
+    Printf.eprintf "index out of range (0 .. %d)\n" (Topology.space_size - 1);
+    exit 1
+  | topo ->
+    Printf.printf "Topology %d: %s\n" index (Topology.to_string topo);
+    let rng = Into_util.Rng.create ~seed in
+    let sizing =
+      match Into_core.Sizing.best (Into_core.Sizing.optimize ~rng ~spec topo) with
+      | Some o -> o.Into_core.Sizing.sizing
+      | None ->
+        Printf.eprintf "no sizing simulated successfully\n";
+        exit 1
+    in
+    let cl_f = spec.Spec.cl_f in
+    (match Perf.evaluate topo ~sizing ~cl_f with
+    | Some p ->
+      Printf.printf "%s  (meets %s: %b)\n\n" (Perf.to_string p ~cl_f) spec.Spec.name
+        (Perf.satisfies p spec)
+    | None -> ());
+    let netlist = Into_circuit.Netlist.build topo ~sizing ~cl_f in
+    print_endline (Into_circuit.Poles_zeros.describe (Into_circuit.Poles_zeros.analyze netlist));
+    let closed = Into_circuit.Poles_zeros.closed_loop_poles netlist in
+    Printf.printf "unity-feedback stable: %b\n\n"
+      (List.for_all (fun z -> z.Complex.re < 0.0) closed);
+    let w = Into_circuit.Transient.step_response netlist in
+    let m = Into_circuit.Transient.measure w in
+    Printf.printf "closed-loop step: overshoot %.1f%%, settling %s\n"
+      m.Into_circuit.Transient.overshoot_pct
+      (match m.Into_circuit.Transient.settling_time_s with
+      | Some t -> Printf.sprintf "%.3g s (1%% band)" t
+      | None -> "did not settle");
+    let nz = Into_circuit.Noise.analyze netlist in
+    Printf.printf "noise: %.3g Vrms at the output, %.1f nV/sqrt(Hz) input-referred\n"
+      nz.Into_circuit.Noise.output_rms_v nz.Into_circuit.Noise.input_spot_nv;
+    let mc =
+      Into_circuit.Montecarlo.run ~rng:(Into_util.Rng.create ~seed:(seed + 1)) ~spec topo
+        ~sizing
+    in
+    Printf.printf "monte-carlo (5%% spread, %d trials): yield %.0f%%, worst PM %.1f deg\n"
+      mc.Into_circuit.Montecarlo.trials
+      (100.0 *. mc.Into_circuit.Montecarlo.yield)
+      mc.Into_circuit.Montecarlo.worst_pm_deg;
+    if spice then begin
+      print_newline ();
+      print_string (Into_circuit.Spice_export.behavioral topo ~sizing ~cl_f)
+    end
+
+let analyze_cmd =
+  let index_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"INDEX" ~doc:"Design-space index.")
+  in
+  let spice_arg = Arg.(value & flag & info [ "spice" ] ~doc:"Also print a SPICE deck.") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Size a topology, then characterize it: poles/zeros, exact stability, step \
+          response, noise, Monte-Carlo yield.")
+    Term.(const analyze $ index_arg $ spec_arg $ seed_arg $ spice_arg)
+
+(* --- tables --- *)
+
+let tables seed =
+  let scale = Methods.scale_of_env () in
+  let campaign =
+    Into_experiments.Campaign.execute
+      ~progress:(fun s -> Printf.eprintf "  [%s]\n%!" s)
+      ~scale ~seed ()
+  in
+  print_endline (Into_experiments.Report.table1 ());
+  print_newline ();
+  List.iter
+    (fun spec ->
+      print_endline (Into_experiments.Report.fig5 campaign spec);
+      print_newline ())
+    Spec.all;
+  print_endline (Into_experiments.Report.table2 campaign);
+  print_newline ();
+  print_endline
+    (Into_experiments.Report.table3 campaign
+       ~methods:[ Methods.Fe_ga; Methods.Vgae_bo; Methods.Into_oa ])
+
+let tables_cmd =
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:
+         "Regenerate Fig. 5 and Tables I-III (scale via INTO_OA_RUNS / INTO_OA_ITERS / INTO_OA_FULL).")
+    Term.(const tables $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "into_oa" ~version:"1.0.0"
+      ~doc:"Interpretable topology optimization for operational amplifiers."
+  in
+  exit (Cmd.eval (Cmd.group info [ specs_cmd; optimize_cmd; evaluate_cmd; analyze_cmd; refine_cmd; tables_cmd ]))

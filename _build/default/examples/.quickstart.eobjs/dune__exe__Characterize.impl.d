@@ -1,0 +1,1 @@
+examples/characterize.ml: Array Complex Into_circuit Into_core Into_util List Printf String

@@ -1,0 +1,1 @@
+examples/design_space_tour.ml: Array Into_circuit Into_graph Into_util List Printf String

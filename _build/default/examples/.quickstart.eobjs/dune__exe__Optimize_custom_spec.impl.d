@@ -1,0 +1,1 @@
+examples/optimize_custom_spec.ml: Into_circuit Into_core Into_util List Printf

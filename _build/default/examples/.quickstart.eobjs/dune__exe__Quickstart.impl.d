@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Into_circuit Into_core Into_transistor Into_util List Printf

@@ -1,0 +1,1 @@
+examples/refine_legacy_design.ml: Into_circuit Into_core Into_experiments Into_util List Printf String

@@ -1,0 +1,1 @@
+examples/refine_legacy_design.mli:

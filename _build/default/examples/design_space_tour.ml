@@ -1,0 +1,77 @@
+(* A tour of the behavior-level design space and the WL graph machinery:
+   enumeration, circuit graphs, WL features, kernel similarities and a text
+   Bode plot from the AC engine.
+
+   Run with: dune exec examples/design_space_tour.exe *)
+
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+module Params = Into_circuit.Params
+module Netlist = Into_circuit.Netlist
+module Ac = Into_circuit.Ac
+module Labeled_graph = Into_graph.Labeled_graph
+module Circuit_graph = Into_graph.Circuit_graph
+module Wl = Into_graph.Wl
+module Wl_kernel = Into_graph.Wl_kernel
+
+let () =
+  Printf.printf "The design space holds %d topologies: " Topology.space_size;
+  Printf.printf "%s slots per topology.\n"
+    (String.concat " x "
+       (List.map
+          (fun s -> string_of_int (Array.length (Topology.allowed s)))
+          Topology.slots));
+  List.iter
+    (fun slot ->
+      Printf.printf "  %-9s: %s\n" (Topology.slot_name slot)
+        (String.concat ", "
+           (List.map Subcircuit.to_string (Array.to_list (Topology.allowed slot)))))
+    Topology.slots;
+
+  (* The circuit graph of Section III-A. *)
+  let topo = Topology.nmc () in
+  let nmc_with_ff =
+    Topology.set topo Topology.Vin_vout (Subcircuit.Gm (Subcircuit.Minus, Subcircuit.Forward))
+  in
+  Printf.printf "\nCircuit graph of %s:\n%s\n" (Topology.to_string topo)
+    (Labeled_graph.to_string (Circuit_graph.build topo));
+
+  (* WL features at increasing radius. *)
+  let dict = Wl.create_dict () in
+  let g = Circuit_graph.build topo in
+  List.iter
+    (fun h ->
+      let feats = Wl.extract dict ~h g in
+      Printf.printf "\nWL features at h=%d (%d distinct):\n" h
+        (List.length (Wl.to_list feats));
+      List.iter
+        (fun (id, count) ->
+          if Wl.feature_iteration dict id = h then
+            Printf.printf "  %dx %s\n" count (Wl.describe dict id))
+        (Wl.to_list feats))
+    [ 0; 1 ];
+
+  (* Kernel similarity behaves like structural similarity. *)
+  let f t = Wl.extract dict ~h:2 (Circuit_graph.build t) in
+  let similar = Topology.set topo Topology.V1_gnd (Subcircuit.Passive Subcircuit.Single_c) in
+  let rng = Into_util.Rng.create ~seed:5 in
+  let distant = Topology.random rng in
+  Printf.printf "\nNormalized WL kernel:\n";
+  Printf.printf "  k(nmc, nmc)             = %.3f\n" (Wl_kernel.normalized (f topo) (f topo));
+  Printf.printf "  k(nmc, nmc + C shunt)   = %.3f\n" (Wl_kernel.normalized (f topo) (f similar));
+  Printf.printf "  k(nmc, nmc + ff gm)     = %.3f\n"
+    (Wl_kernel.normalized (f topo) (f nmc_with_ff));
+  Printf.printf "  k(nmc, random topology) = %.3f  (%s)\n"
+    (Wl_kernel.normalized (f topo) (f distant))
+    (Topology.to_string distant);
+
+  (* A coarse text Bode plot of the sized NMC amplifier. *)
+  let schema = Params.schema topo in
+  let sizing = Params.denormalize schema (Params.default_point schema) in
+  let nl = Netlist.build topo ~sizing ~cl_f:10e-12 in
+  let freqs = Array.init 13 (fun i -> 10.0 ** float_of_int (i - 2)) in
+  print_endline "\nBode response of the default-sized NMC amplifier:";
+  print_endline "  freq (Hz)   |A| (dB)   phase (deg)";
+  Array.iter
+    (fun (fr, mag, ph) -> Printf.printf "  %9.0e  %9.2f  %10.1f\n" fr mag ph)
+    (Ac.bode nl ~freqs)

@@ -1,0 +1,52 @@
+(* Quickstart: describe a classic nested-Miller topology, size it for the
+   S-1 specification with the inner BO, inspect the result and map it to
+   transistors.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Topology = Into_circuit.Topology
+module Spec = Into_circuit.Spec
+module Perf = Into_circuit.Perf
+module Sizing = Into_core.Sizing
+module Params = Into_circuit.Params
+
+let () =
+  let spec = Spec.s1 in
+  Printf.printf "Specification: %s\n\n" (Spec.to_string spec);
+
+  (* 1. A topology is five variable-subcircuit choices around the fixed
+     three-stage backbone; nmc () is the classic series-RC Miller scheme. *)
+  let topo = Topology.nmc () in
+  Printf.printf "Topology under study:\n  %s\n\n" (Topology.to_string topo);
+
+  (* 2. Size it: 10 random starts + 30 BO iterations = 40 AC simulations. *)
+  let rng = Into_util.Rng.create ~seed:5 in
+  let result = Sizing.optimize ~rng ~spec topo in
+  Printf.printf "Sizing used %d simulations.\n" result.Sizing.n_sims;
+  (match Sizing.best result with
+  | None -> print_endline "No sizing simulated successfully."
+  | Some o ->
+    let feasible = Perf.satisfies o.Sizing.perf spec in
+    Printf.printf "Best point (%s):\n  %s\n\n"
+      (if feasible then "meets the spec" else "infeasible")
+      (Perf.to_string o.Sizing.perf ~cl_f:spec.Spec.cl_f);
+    let schema = Params.schema topo in
+    print_endline "Physical parameter values:";
+    List.iteri
+      (fun i p ->
+        Printf.printf "  %-14s %.4g\n" p.Params.name o.Sizing.sizing.(i))
+      (Params.params schema);
+
+    (* 3. Map the behavioral design to transistors via the gm/id tables. *)
+    print_newline ();
+    match
+      Into_transistor.Tlevel.evaluate topo ~sizing:o.Sizing.sizing ~cl_f:spec.Spec.cl_f
+    with
+    | None -> print_endline "Transistor-level simulation failed."
+    | Some tl ->
+      print_endline "Transistor-level implementation:";
+      List.iter
+        (fun impl -> Printf.printf "  %s\n" (Into_transistor.Mapping.describe impl))
+        tl.Into_transistor.Tlevel.impls;
+      Printf.printf "Transistor-level performance:\n  %s\n"
+        (Perf.to_string tl.Into_transistor.Tlevel.perf ~cl_f:spec.Spec.cl_f))

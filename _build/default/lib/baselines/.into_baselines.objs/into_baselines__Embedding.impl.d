@@ -1,0 +1,1 @@
+lib/baselines/embedding.ml: Array Into_circuit Into_util List

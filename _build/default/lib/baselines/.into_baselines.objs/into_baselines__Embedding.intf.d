@@ -1,0 +1,1 @@
+lib/baselines/embedding.mli: Into_circuit

@@ -1,0 +1,1 @@
+lib/baselines/fe_ga.ml: Array Hashtbl Into_circuit Into_core Into_util List Option

@@ -1,0 +1,1 @@
+lib/baselines/fe_ga.mli: Into_circuit Into_core Into_util

@@ -1,0 +1,1 @@
+lib/baselines/vgae_bo.ml: Array Embedding Hashtbl Into_circuit Into_core Into_gp Into_linalg Into_util List Option

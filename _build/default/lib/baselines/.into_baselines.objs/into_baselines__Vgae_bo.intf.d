@@ -1,0 +1,1 @@
+lib/baselines/vgae_bo.mli: Into_circuit Into_core Into_util

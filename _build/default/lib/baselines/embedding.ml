@@ -1,0 +1,37 @@
+module Topology = Into_circuit.Topology
+
+let dim = 8
+
+let one_hot_dim =
+  List.fold_left (fun acc slot -> acc + Array.length (Topology.allowed slot)) 0 Topology.slots
+
+let one_hot topo =
+  let v = Array.make one_hot_dim 0.0 in
+  let offset = ref 0 in
+  List.iter
+    (fun slot ->
+      let types = Topology.allowed slot in
+      let current = Topology.get topo slot in
+      Array.iteri
+        (fun i t ->
+          if Into_circuit.Subcircuit.equal t current then v.(!offset + i) <- 1.0)
+        types;
+      offset := !offset + Array.length types)
+    Topology.slots;
+  v
+
+(* Fixed projection matrix, regenerated deterministically from a constant
+   seed: the same "trained encoder" for every run and process. *)
+let projection =
+  let rng = Into_util.Rng.create ~seed:0x5EED_CAFE in
+  Array.init dim (fun _ ->
+      Array.init one_hot_dim (fun _ -> Into_util.Rng.gaussian rng /. sqrt (float_of_int dim)))
+
+let embed topo =
+  let x = one_hot topo in
+  Array.map
+    (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun i r -> acc := !acc +. (r *. x.(i))) row;
+      !acc)
+    projection

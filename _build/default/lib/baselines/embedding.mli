@@ -1,0 +1,22 @@
+(** Fixed continuous graph embedding — the VGAE substitute.
+
+    A variational graph autoencoder maps circuit graphs into a continuous
+    latent space; here a deterministic random projection of the one-hot
+    (slot, subcircuit-type) encoding into a lower-dimensional latent plays
+    that role (see DESIGN.md).  The projection is seeded by a constant, so
+    the embedding is identical across runs, mimicking a pre-trained
+    encoder.  Because 49 one-hot coordinates are squeezed into 8 latent
+    dimensions, nearby latent points can decode to structurally unrelated
+    topologies — exactly the performance-discontinuity weakness of the
+    continuous-latent approach that INTO-OA's graph-native kernel avoids. *)
+
+val dim : int
+(** Latent dimensionality (8). *)
+
+val embed : Into_circuit.Topology.t -> float array
+(** Deterministic latent vector of a topology. *)
+
+val one_hot : Into_circuit.Topology.t -> float array
+(** The 49-dimensional indicator encoding behind the projection. *)
+
+val one_hot_dim : int

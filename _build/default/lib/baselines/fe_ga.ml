@@ -1,0 +1,164 @@
+module Rng = Into_util.Rng
+module Topology = Into_circuit.Topology
+module Spec = Into_circuit.Spec
+module Perf = Into_circuit.Perf
+module Evaluator = Into_core.Evaluator
+module Topo_bo = Into_core.Topo_bo
+
+type config = {
+  population : int;
+  iterations : int;
+  tournament : int;
+  mutation_probability : float;
+  sizing : Into_core.Sizing.config;
+}
+
+let default_config =
+  {
+    population = 10;
+    iterations = 50;
+    tournament = 3;
+    mutation_probability = 0.2;
+    sizing = Into_core.Sizing.default_config;
+  }
+
+type result = {
+  steps : Topo_bo.step list;
+  best : Evaluator.evaluation option;
+  total_sims : int;
+}
+
+let crossover rng a b =
+  List.fold_left
+    (fun child slot ->
+      let donor = if Rng.bool rng then a else b in
+      Topology.set child slot (Topology.get donor slot))
+    a Topology.slots
+
+type state = {
+  cfg : config;
+  rng : Rng.t;
+  spec : Spec.t;
+  visited : (int, unit) Hashtbl.t;
+  mutable population : Evaluator.evaluation list;
+  mutable steps : Topo_bo.step list;
+  mutable total_sims : int;
+  mutable best : (Evaluator.evaluation * float) option;
+}
+
+let fitness st (e : Evaluator.evaluation) =
+  if e.feasible then e.fom else -.Perf.violation e.perf st.spec
+
+let record st ~iteration ~evaluation ~n_sims =
+  st.total_sims <- st.total_sims + n_sims;
+  (match evaluation with
+  | Some (e : Evaluator.evaluation) when e.feasible -> (
+    match st.best with
+    | Some (_, f) when f >= e.fom -> ()
+    | Some _ | None -> st.best <- Some (e, e.fom))
+  | Some _ | None -> ());
+  st.steps <-
+    {
+      Topo_bo.iteration;
+      evaluation;
+      cumulative_sims = st.total_sims;
+      best_fom_so_far = Option.map snd st.best;
+    }
+    :: st.steps
+
+let evaluate st ~iteration topo =
+  Hashtbl.replace st.visited (Topology.to_index topo) ();
+  match Evaluator.evaluate ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo with
+  | Some e ->
+    record st ~iteration ~evaluation:(Some e) ~n_sims:e.n_sims;
+    Some e
+  | None ->
+    record st ~iteration ~evaluation:None
+      ~n_sims:(Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing);
+    None
+
+let tournament_select st =
+  let pop = Array.of_list st.population in
+  let pick () = pop.(Rng.int st.rng (Array.length pop)) in
+  let rec go best n =
+    if n = 0 then best
+    else
+      let c = pick () in
+      go (if fitness st c > fitness st best then c else best) (n - 1)
+  in
+  go (pick ()) (st.cfg.tournament - 1)
+
+(* Offspring: uniform crossover then per-slot mutation, retried a few times
+   to find an unvisited genotype; falls back to a random topology. *)
+let offspring st =
+  let make () =
+    let a = (tournament_select st).Evaluator.topology in
+    let b = (tournament_select st).Evaluator.topology in
+    let child = crossover st.rng a b in
+    List.fold_left
+      (fun acc slot ->
+        if Rng.float st.rng < st.cfg.mutation_probability then
+          let types = Topology.allowed slot in
+          Topology.set acc slot (Rng.choice st.rng types)
+        else acc)
+      child Topology.slots
+  in
+  let rec search attempts =
+    if attempts = 0 then
+      let rec random_unvisited n =
+        let t = Topology.random st.rng in
+        if n = 0 || not (Hashtbl.mem st.visited (Topology.to_index t)) then t
+        else random_unvisited (n - 1)
+      in
+      random_unvisited 50
+    else
+      let c = make () in
+      if Hashtbl.mem st.visited (Topology.to_index c) then search (attempts - 1) else c
+  in
+  search 20
+
+let replace_worst st e =
+  match
+    List.sort (fun a b -> compare (fitness st a) (fitness st b)) st.population
+  with
+  | [] -> st.population <- [ e ]
+  | worst :: rest ->
+    if List.length st.population < st.cfg.population then
+      st.population <- e :: st.population
+    else if fitness st e > fitness st worst then st.population <- e :: rest
+    else ()
+
+let run ?(config = default_config) ~rng ~spec () =
+  let st =
+    {
+      cfg = config;
+      rng;
+      spec;
+      visited = Hashtbl.create 256;
+      population = [];
+      steps = [];
+      total_sims = 0;
+      best = None;
+    }
+  in
+  let added = ref 0 in
+  let guard = ref 0 in
+  while !added < config.population && !guard < 100 * config.population do
+    incr guard;
+    let t = Topology.random st.rng in
+    if not (Hashtbl.mem st.visited (Topology.to_index t)) then begin
+      incr added;
+      match evaluate st ~iteration:0 t with
+      | Some e -> st.population <- e :: st.population
+      | None -> ()
+    end
+  done;
+  for iteration = 1 to config.iterations do
+    if st.population = [] then ignore (evaluate st ~iteration (Topology.random st.rng))
+    else
+      let child = offspring st in
+      match evaluate st ~iteration child with
+      | Some e -> replace_worst st e
+      | None -> ()
+  done;
+  { steps = List.rev st.steps; best = Option.map fst st.best; total_sims = st.total_sims }

@@ -1,0 +1,36 @@
+(** FE-GA baseline: genetic algorithm over the topology genotype, standing
+    in for the feature-embedding GA of [14] (see DESIGN.md, substitutions).
+
+    Steady-state GA: a fixed-size population of sized topologies; each
+    iteration tournament-selects two parents, applies per-slot uniform
+    crossover and mutation, sizes the offspring with the same inner BO as
+    every other method, and replaces the worst individual.  The one-hot
+    feature embedding is used to avoid re-evaluating already visited
+    genotypes.  Fitness is FoM for feasible designs and the negated
+    constraint violation otherwise. *)
+
+type config = {
+  population : int;  (** initial random individuals (paper: 10) *)
+  iterations : int;  (** offspring evaluations (paper: 50) *)
+  tournament : int;  (** tournament size *)
+  mutation_probability : float;  (** per-slot *)
+  sizing : Into_core.Sizing.config;
+}
+
+val default_config : config
+
+type result = {
+  steps : Into_core.Topo_bo.step list;  (** same shape as the BO trace *)
+  best : Into_core.Evaluator.evaluation option;
+  total_sims : int;
+}
+
+val run :
+  ?config:config -> rng:Into_util.Rng.t -> spec:Into_circuit.Spec.t -> unit -> result
+
+val crossover :
+  Into_util.Rng.t ->
+  Into_circuit.Topology.t ->
+  Into_circuit.Topology.t ->
+  Into_circuit.Topology.t
+(** Per-slot uniform crossover (exposed for testing). *)

@@ -1,0 +1,212 @@
+module Rng = Into_util.Rng
+module Topology = Into_circuit.Topology
+module Spec = Into_circuit.Spec
+module Evaluator = Into_core.Evaluator
+module Topo_bo = Into_core.Topo_bo
+module Objective = Into_core.Objective
+module Acquisition = Into_core.Acquisition
+module Gp = Into_gp.Gp
+module Rbf = Into_gp.Rbf
+
+type config = {
+  n_init : int;
+  iterations : int;
+  pool : int;
+  wei_w : float;
+  refit_every : int;
+  sizing : Into_core.Sizing.config;
+}
+
+let default_config =
+  {
+    n_init = 10;
+    iterations = 50;
+    pool = 200;
+    wei_w = 0.5;
+    refit_every = 5;
+    sizing = Into_core.Sizing.default_config;
+  }
+
+type result = {
+  steps : Topo_bo.step list;
+  best : Evaluator.evaluation option;
+  total_sims : int;
+}
+
+type state = {
+  cfg : config;
+  rng : Rng.t;
+  spec : Spec.t;
+  visited : (int, unit) Hashtbl.t;
+  mutable evals : (Evaluator.evaluation * float array) list;  (** with latents *)
+  mutable steps : Topo_bo.step list;
+  mutable total_sims : int;
+  mutable best : (Evaluator.evaluation * float) option;
+  mutable lengthscales : float array;
+  mutable noises : float array;
+}
+
+let n_models = List.length Objective.metrics + 1
+
+let record st ~iteration ~evaluation ~n_sims =
+  st.total_sims <- st.total_sims + n_sims;
+  (match evaluation with
+  | Some (e : Evaluator.evaluation) ->
+    st.evals <- st.evals @ [ (e, Embedding.embed e.topology) ];
+    if e.feasible then begin
+      match st.best with
+      | Some (_, f) when f >= e.fom -> ()
+      | Some _ | None -> st.best <- Some (e, e.fom)
+    end
+  | None -> ());
+  st.steps <-
+    {
+      Topo_bo.iteration;
+      evaluation;
+      cumulative_sims = st.total_sims;
+      best_fom_so_far = Option.map snd st.best;
+    }
+    :: st.steps
+
+let evaluate st ~iteration topo =
+  Hashtbl.replace st.visited (Topology.to_index topo) ();
+  match Evaluator.evaluate ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo with
+  | Some e -> record st ~iteration ~evaluation:(Some e) ~n_sims:e.n_sims
+  | None ->
+    record st ~iteration ~evaluation:None
+      ~n_sims:(Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing)
+
+let targets st =
+  let xs = Array.of_list (List.map snd st.evals) in
+  let n_metrics = List.length Objective.metrics in
+  let ys =
+    Array.init n_models (fun m ->
+        Array.of_list
+          (List.map
+             (fun ((e : Evaluator.evaluation), _) ->
+               if m < n_metrics then (Objective.metric_values e.perf).(m)
+               else Objective.penalized_fom_value e.perf st.spec ~cl_f:st.spec.Spec.cl_f)
+             st.evals))
+  in
+  (xs, ys)
+
+let lengthscale_grid = [ 0.25; 0.5; 1.0; 2.0; 4.0 ]
+let noise_grid = [ 1e-4; 1e-2; 1e-1 ]
+
+let refit_hyperparameters st =
+  let xs, ys = targets st in
+  for m = 0 to n_models - 1 do
+    let best = ref None in
+    List.iter
+      (fun l ->
+        let gram = Rbf.gram ~lengthscale:l xs in
+        List.iter
+          (fun noise ->
+            match Gp.fit ~gram ~y:ys.(m) ~signal:1.0 ~noise with
+            | gp -> (
+              let lml = Gp.log_marginal_likelihood gp in
+              match !best with
+              | Some (_, _, b) when b >= lml -> ()
+              | Some _ | None -> best := Some (l, noise, lml))
+            | exception Into_linalg.Cholesky.Not_positive_definite -> ())
+          noise_grid)
+      lengthscale_grid;
+    match !best with
+    | Some (l, noise, _) ->
+      st.lengthscales.(m) <- l;
+      st.noises.(m) <- noise
+    | None -> ()
+  done
+
+let fit_models st =
+  let xs, ys = targets st in
+  ( xs,
+    Array.init n_models (fun m ->
+        let gram = Rbf.gram ~lengthscale:st.lengthscales.(m) xs in
+        match Gp.fit ~gram ~y:ys.(m) ~signal:1.0 ~noise:st.noises.(m) with
+        | gp -> Some gp
+        | exception Into_linalg.Cholesky.Not_positive_definite -> None) )
+
+let acquisition st (xs, models) best_tfom z =
+  let predict m =
+    Option.map
+      (fun gp ->
+        Gp.predict gp ~k_star:(Rbf.cross ~lengthscale:st.lengthscales.(m) xs z) ~k_self:1.0)
+      models.(m)
+  in
+  let feas =
+    List.mapi
+      (fun m (bound, sense) ->
+        match predict m with
+        | None -> 1.0
+        | Some (mean, var) ->
+          Acquisition.probability_feasible ~mean ~std:(sqrt var) ~bound ~sense)
+      (Objective.bounds st.spec)
+  in
+  match best_tfom with
+  | None -> Acquisition.feasibility_only feas
+  | Some best -> (
+    match predict (n_models - 1) with
+    | None -> Acquisition.feasibility_only feas
+    | Some (mean, var) ->
+      let ei = Acquisition.expected_improvement ~mean ~std:(sqrt var) ~best in
+      Acquisition.weighted_ei ~w:st.cfg.wei_w ~ei ~feasibility:feas)
+
+let bo_iteration st ~iteration =
+  if List.length st.evals < 2 then evaluate st ~iteration (Topology.random st.rng)
+  else begin
+    if iteration mod st.cfg.refit_every = 1 || st.lengthscales.(0) = 0.0 then
+      refit_hyperparameters st;
+    let fitted = fit_models st in
+    let best_tfom =
+      Option.map
+        (fun ((e : Evaluator.evaluation), _) ->
+          Objective.penalized_fom_value e.perf st.spec ~cl_f:st.spec.Spec.cl_f)
+        st.best
+    in
+    let best_candidate = ref None in
+    let tries = ref 0 in
+    while !tries < st.cfg.pool do
+      incr tries;
+      let t = Topology.random st.rng in
+      if not (Hashtbl.mem st.visited (Topology.to_index t)) then begin
+        let a = acquisition st fitted best_tfom (Embedding.embed t) in
+        match !best_candidate with
+        | Some (_, ba) when ba >= a -> ()
+        | Some _ | None -> best_candidate := Some (t, a)
+      end
+    done;
+    match !best_candidate with
+    | Some (t, _) -> evaluate st ~iteration t
+    | None -> ()
+  end
+
+let run ?(config = default_config) ~rng ~spec () =
+  let st =
+    {
+      cfg = config;
+      rng;
+      spec;
+      visited = Hashtbl.create 256;
+      evals = [];
+      steps = [];
+      total_sims = 0;
+      best = None;
+      lengthscales = Array.make n_models 0.0;
+      noises = Array.make n_models 1e-2;
+    }
+  in
+  let added = ref 0 in
+  let guard = ref 0 in
+  while !added < config.n_init && !guard < 100 * config.n_init do
+    incr guard;
+    let t = Topology.random st.rng in
+    if not (Hashtbl.mem st.visited (Topology.to_index t)) then begin
+      incr added;
+      evaluate st ~iteration:0 t
+    end
+  done;
+  for iteration = 1 to config.iterations do
+    bo_iteration st ~iteration
+  done;
+  { steps = List.rev st.steps; best = Option.map fst st.best; total_sims = st.total_sims }

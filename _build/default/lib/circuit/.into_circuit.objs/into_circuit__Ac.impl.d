@@ -1,0 +1,1 @@
+lib/circuit/ac.ml: Array Complex Float Mna

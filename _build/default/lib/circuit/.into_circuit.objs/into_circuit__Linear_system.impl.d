@@ -1,0 +1,1 @@
+lib/circuit/linear_system.ml: Array Complex Float Into_linalg List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/linear_system.mli: Complex Into_linalg Netlist

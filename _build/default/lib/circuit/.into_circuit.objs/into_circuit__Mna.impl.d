@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Complex Float Into_linalg List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/montecarlo.ml: Array Float Into_util Perf Spec

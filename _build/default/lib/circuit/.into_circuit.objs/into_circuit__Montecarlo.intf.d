@@ -1,0 +1,1 @@
+lib/circuit/montecarlo.mli: Into_util Spec Topology

@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Hashtbl List Params Printf Process Subcircuit Topology

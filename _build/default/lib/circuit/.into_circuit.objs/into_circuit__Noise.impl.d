@@ -1,0 +1,1 @@
+lib/circuit/noise.ml: Array Complex Float List Mna Netlist

@@ -1,0 +1,1 @@
+lib/circuit/params.ml: Array Float Into_util List Printf Process Subcircuit Topology

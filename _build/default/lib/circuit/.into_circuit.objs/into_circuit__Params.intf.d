@@ -1,0 +1,1 @@
+lib/circuit/params.mli: Into_util Topology

@@ -1,0 +1,1 @@
+lib/circuit/perf.ml: Ac Complex Float Into_linalg List Netlist Poles_zeros Printf Spec

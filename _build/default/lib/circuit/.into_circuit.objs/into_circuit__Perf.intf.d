@@ -1,0 +1,1 @@
+lib/circuit/perf.mli: Netlist Process Spec Topology

@@ -1,0 +1,1 @@
+lib/circuit/poles_zeros.ml: Array Complex Float Into_linalg Linear_system List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/poles_zeros.mli: Complex Netlist

@@ -1,0 +1,1 @@
+lib/circuit/spice_export.ml: Ac Buffer List Netlist Printf Topology

@@ -1,0 +1,1 @@
+lib/circuit/subcircuit.ml: List Stdlib

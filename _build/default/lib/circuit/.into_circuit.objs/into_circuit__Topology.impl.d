@@ -1,0 +1,1 @@
+lib/circuit/topology.ml: Array Into_util List Printf Stdlib String Subcircuit

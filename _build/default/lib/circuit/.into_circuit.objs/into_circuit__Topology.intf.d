@@ -1,0 +1,1 @@
+lib/circuit/topology.mli: Into_util Subcircuit

@@ -1,0 +1,1 @@
+lib/circuit/transient.ml: Ac Array Float Into_linalg Linear_system

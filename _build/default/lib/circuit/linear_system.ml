@@ -1,0 +1,121 @@
+module Mat = Into_linalg.Mat
+
+type t = {
+  g : Mat.t;
+  c : Mat.t;
+  b_g : float array;
+  b_c : float array;
+  n : int;
+  output : int;
+}
+
+type target = To_ground | To_vin | To_node of int
+
+let classify = function
+  | Netlist.Gnd -> To_ground
+  | Netlist.Vin -> To_vin
+  | Netlist.N i -> To_node i
+
+(* Count extra unknowns: one internal node per series R-C branch, one
+   low-pass state per finite-pole transconductor. *)
+let count_extra prims =
+  List.fold_left
+    (fun acc prim ->
+      match prim with
+      | Netlist.Series_rc _ -> acc + 1
+      | Netlist.Vccs { pole_hz; _ } when Float.is_finite pole_hz -> acc + 1
+      | Netlist.Vccs _ | Netlist.Conductance _ | Netlist.Capacitance _ -> acc)
+    0 prims
+
+type builder = {
+  g_m : Mat.t;
+  c_m : Mat.t;
+  bg : float array;
+  bc : float array;
+  mutable next : int;
+}
+
+(* Stamp a two-terminal of value [v] into matrix [m] (with its input-vector
+   counterpart [bv] when one side is the driven source). *)
+let stamp_two m bv a b v =
+  (match classify a with
+  | To_node i -> (
+    Mat.set m i i (Mat.get m i i +. v);
+    match classify b with
+    | To_node j -> Mat.set m i j (Mat.get m i j -. v)
+    | To_vin -> bv.(i) <- bv.(i) +. v
+    | To_ground -> ())
+  | To_vin | To_ground -> ());
+  match classify b with
+  | To_node j -> (
+    Mat.set m j j (Mat.get m j j +. v);
+    match classify a with
+    | To_node i -> Mat.set m j i (Mat.get m j i -. v)
+    | To_vin -> bv.(j) <- bv.(j) +. v
+    | To_ground -> ())
+  | To_vin | To_ground -> ()
+
+(* Ideal VCCS of transconductance [gm] controlled by [ctrl] injecting into
+   [out]: KCL row of [out] gains [-gm * v_ctrl]. *)
+let stamp_vccs bld ~ctrl ~out gm =
+  match classify out with
+  | To_node o -> (
+    match classify ctrl with
+    | To_node c -> Mat.set bld.g_m o c (Mat.get bld.g_m o c -. gm)
+    | To_vin -> bld.bg.(o) <- bld.bg.(o) +. gm
+    | To_ground -> ())
+  | To_vin | To_ground -> ()
+
+let stamp prim bld =
+  match prim with
+  | Netlist.Conductance (a, b, g) -> stamp_two bld.g_m bld.bg a b g
+  | Netlist.Capacitance (a, b, c) -> stamp_two bld.c_m bld.bc a b c
+  | Netlist.Series_rc (a, b, r, c) ->
+    (* Explicit internal node between the resistor (on the [a] side) and
+       the capacitor (on the [b] side). *)
+    let m = bld.next in
+    bld.next <- bld.next + 1;
+    stamp_two bld.g_m bld.bg a (Netlist.N m) (1.0 /. r);
+    stamp_two bld.c_m bld.bc (Netlist.N m) b c
+  | Netlist.Vccs { ctrl; out; gm; pole_hz } ->
+    if Float.is_finite pole_hz then begin
+      (* Low-pass state x with x + (s/w) x = v_ctrl; the VCCS reads x. *)
+      let x = bld.next in
+      bld.next <- bld.next + 1;
+      Mat.set bld.g_m x x 1.0;
+      (match classify ctrl with
+      | To_node c -> Mat.set bld.g_m x c (-1.0)
+      | To_vin -> bld.bg.(x) <- bld.bg.(x) +. 1.0
+      | To_ground -> ());
+      Mat.set bld.c_m x x (1.0 /. (2.0 *. Float.pi *. pole_hz));
+      stamp_vccs bld ~ctrl:(Netlist.N x) ~out gm
+    end
+    else stamp_vccs bld ~ctrl ~out gm
+
+let build netlist =
+  let n = netlist.Netlist.n_unknowns + count_extra netlist.Netlist.prims in
+  let bld =
+    {
+      g_m = Mat.create n n;
+      c_m = Mat.create n n;
+      bg = Array.make n 0.0;
+      bc = Array.make n 0.0;
+      next = netlist.Netlist.n_unknowns;
+    }
+  in
+  List.iter (fun prim -> stamp prim bld) netlist.Netlist.prims;
+  assert (bld.next = n);
+  { g = bld.g_m; c = bld.c_m; b_g = bld.bg; b_c = bld.bc; n; output = 2 }
+
+let transfer t ~freq_hz =
+  let w = 2.0 *. Float.pi *. freq_hz in
+  let y = Into_linalg.Cmat.create t.n t.n in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      Into_linalg.Cmat.set y i j { Complex.re = Mat.get t.g i j; im = w *. Mat.get t.c i j }
+    done
+  done;
+  let rhs =
+    Array.init t.n (fun i -> { Complex.re = t.b_g.(i); im = w *. t.b_c.(i) })
+  in
+  (Into_linalg.Cmat.solve y rhs).(t.output)

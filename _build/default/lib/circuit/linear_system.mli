@@ -1,0 +1,31 @@
+(** Linearization of a netlist into the descriptor form [ (G + sC) x = b u ].
+
+    The AC engine ({!Mna}) stamps frequency-dependent admittances directly,
+    which is fast but hides the system's polynomial structure.  This module
+    expands every rational element into constant real matrices by adding
+    internal states:
+
+    - a series R-C branch becomes an explicit internal node between its
+      resistor and capacitor;
+    - a transconductor's single-pole roll-off [gm/(1 + s/w)] becomes an
+      auxiliary low-pass state [x + (s/w) x = v_ctrl] whose output drives
+      the ideal VCCS.
+
+    The resulting pencil [(G, C)] powers exact pole/zero extraction
+    ({!Poles_zeros}), time-domain integration ({!Transient}) and noise
+    analysis ({!Noise}); its transfer function agrees with {!Mna} at every
+    frequency, which the test suite checks. *)
+
+type t = {
+  g : Into_linalg.Mat.t;  (** conductance matrix *)
+  c : Into_linalg.Mat.t;  (** capacitance matrix *)
+  b_g : Into_linalg.Vec.t;  (** resistive input coupling: multiplies [v_in] *)
+  b_c : Into_linalg.Vec.t;  (** capacitive input coupling: multiplies [s v_in] *)
+  n : int;  (** number of unknowns (3 circuit + internal + auxiliary) *)
+  output : int;  (** index of [vout] *)
+}
+
+val build : Netlist.t -> t
+
+val transfer : t -> freq_hz:float -> Complex.t
+(** [vout/vin] from the descriptor form; matches {!Mna.transfer}. *)

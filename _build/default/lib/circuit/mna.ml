@@ -1,0 +1,81 @@
+exception Singular
+
+let cx re im = { Complex.re; im }
+
+(* Admittance of a primitive two-terminal at angular frequency w. *)
+let admittance prim w =
+  match prim with
+  | Netlist.Conductance (_, _, g) -> cx g 0.0
+  | Netlist.Capacitance (_, _, c) -> cx 0.0 (w *. c)
+  | Netlist.Series_rc (_, _, r, c) ->
+    (* Y = jwC / (1 + jwRC) *)
+    Complex.div (cx 0.0 (w *. c)) (cx 1.0 (w *. r *. c))
+  | Netlist.Vccs _ -> invalid_arg "Mna.admittance: not a two-terminal"
+
+let assemble netlist ~freq_hz =
+  let w = 2.0 *. Float.pi *. freq_hz in
+  let n = netlist.Netlist.n_unknowns in
+  let y = Into_linalg.Cmat.create n n in
+  let rhs = Array.make n Complex.zero in
+  let stamp_two_terminal a b yv =
+    (* KCL rows for an admittance between nodes a and b; the unit source at
+       vin moves its terms to the right-hand side. *)
+    (match a with
+    | Netlist.N i -> (
+      Into_linalg.Cmat.add_entry y i i yv;
+      match b with
+      | Netlist.N j ->
+        Into_linalg.Cmat.add_entry y i j (Complex.neg yv)
+      | Netlist.Vin -> rhs.(i) <- Complex.add rhs.(i) yv
+      | Netlist.Gnd -> ())
+    | Netlist.Vin | Netlist.Gnd -> ());
+    match b with
+    | Netlist.N j -> (
+      Into_linalg.Cmat.add_entry y j j yv;
+      match a with
+      | Netlist.N i -> Into_linalg.Cmat.add_entry y j i (Complex.neg yv)
+      | Netlist.Vin -> rhs.(j) <- Complex.add rhs.(j) yv
+      | Netlist.Gnd -> ())
+    | Netlist.Vin | Netlist.Gnd -> ()
+  in
+  let stamp_vccs ~ctrl ~out gm pole_hz =
+    (* Injects gm(jw) * v(ctrl) into node out, with the transconductance
+       rolling off at the device transit frequency:
+       gm(jw) = gm / (1 + j f/pole_hz). *)
+    let gmw = Complex.div (cx gm 0.0) (cx 1.0 (freq_hz /. pole_hz)) in
+    match out with
+    | Netlist.N o -> (
+      match ctrl with
+      | Netlist.N c -> Into_linalg.Cmat.add_entry y o c (Complex.neg gmw)
+      | Netlist.Vin -> rhs.(o) <- Complex.add rhs.(o) gmw
+      | Netlist.Gnd -> ())
+    | Netlist.Vin | Netlist.Gnd -> ()
+  in
+  List.iter
+    (fun prim ->
+      match prim with
+      | Netlist.Conductance (a, b, _) | Netlist.Capacitance (a, b, _)
+      | Netlist.Series_rc (a, b, _, _) ->
+        stamp_two_terminal a b (admittance prim w)
+      | Netlist.Vccs { ctrl; out; gm; pole_hz } -> stamp_vccs ~ctrl ~out gm pole_hz)
+    netlist.Netlist.prims;
+  (y, rhs)
+
+let solve netlist ~freq_hz =
+  let y, rhs = assemble netlist ~freq_hz in
+  try Into_linalg.Cmat.solve y rhs with Into_linalg.Cmat.Singular -> raise Singular
+
+let transfer netlist ~freq_hz = (solve netlist ~freq_hz).(2)
+
+let element_admittance prim ~freq_hz = admittance prim (2.0 *. Float.pi *. freq_hz)
+
+let solve_with_injection netlist ~freq_hz ~into ~out_of =
+  let y, _vin_rhs = assemble netlist ~freq_hz in
+  let rhs = Array.make netlist.Netlist.n_unknowns Complex.zero in
+  (match into with
+  | Netlist.N i -> rhs.(i) <- Complex.add rhs.(i) Complex.one
+  | Netlist.Gnd | Netlist.Vin -> ());
+  (match out_of with
+  | Netlist.N i -> rhs.(i) <- Complex.sub rhs.(i) Complex.one
+  | Netlist.Gnd | Netlist.Vin -> ());
+  try Into_linalg.Cmat.solve y rhs with Into_linalg.Cmat.Singular -> raise Singular

@@ -1,0 +1,27 @@
+(** Modified nodal analysis of a netlist at a single frequency.
+
+    The input source [vin] is an ideal unit AC source, so elements touching
+    it contribute to the right-hand side; ground contributions vanish.  The
+    assembled system [Y(jw) v = i] is solved with a dense complex LU. *)
+
+exception Singular
+(** Raised when the admittance matrix is numerically singular at the
+    requested frequency (degenerate topology/sizing). *)
+
+val solve : Netlist.t -> freq_hz:float -> Complex.t array
+(** Node voltages of all unknowns (index 0 = v1, 1 = v2, 2 = vout, 3+ =
+    internal) for a unit input. *)
+
+val transfer : Netlist.t -> freq_hz:float -> Complex.t
+(** [vout / vin] at the given frequency. *)
+
+val element_admittance : Netlist.prim -> freq_hz:float -> Complex.t
+(** Admittance of a passive two-terminal at a frequency (used by the
+    Nyquist-theorem noise model).
+    @raise Invalid_argument on a controlled source. *)
+
+val solve_with_injection :
+  Netlist.t -> freq_hz:float -> into:Netlist.node -> out_of:Netlist.node -> Complex.t array
+(** Node voltages with the input source silenced and a unit AC current
+    pushed into [into] and pulled from [out_of] — the per-source transfer
+    the noise analysis superposes. *)

@@ -1,0 +1,29 @@
+(** Monte-Carlo robustness analysis of a sized design.
+
+    Process variation and mismatch scatter every component value; a design
+    with all margins at the specification boundary yields poorly in
+    fabrication.  Each trial perturbs every physical parameter with
+    log-normal noise (value * exp(sigma * N(0,1)), the natural model for
+    gm/R/C spreads), re-simulates, and checks the specification.  The
+    reliability argument behind the paper's refinement story — trusted
+    designs should stay trustworthy — becomes measurable: yield before and
+    after a topology edit. *)
+
+type t = {
+  trials : int;
+  passes : int;
+  yield : float;  (** passes / trials *)
+  worst_pm_deg : float;  (** most pessimistic phase margin seen *)
+  fom_mean : float;  (** mean FoM over passing trials (0 if none) *)
+}
+
+val run :
+  ?trials:int ->
+  ?sigma:float ->
+  rng:Into_util.Rng.t ->
+  spec:Spec.t ->
+  Topology.t ->
+  sizing:float array ->
+  t
+(** [trials] defaults to 100, [sigma] to 0.05 (5% component spread).
+    Simulation failures count as failing trials. *)

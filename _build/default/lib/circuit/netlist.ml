@@ -1,0 +1,159 @@
+type node = Gnd | Vin | N of int
+
+let v1 = N 0
+let v2 = N 1
+let vout = N 2
+
+type prim =
+  | Conductance of node * node * float
+  | Capacitance of node * node * float
+  | Series_rc of node * node * float * float
+  | Vccs of { ctrl : node; out : node; gm : float; pole_hz : float }
+
+type gm_instance = {
+  gm_name : string;
+  gm_value : float;
+  gm_over_id : float;
+  bias_a : float;
+}
+
+type t = {
+  prims : prim list;
+  n_unknowns : int;
+  power_w : float;
+  gms : gm_instance list;
+}
+
+type builder = {
+  process : Process.t;
+  mutable rev_prims : prim list;
+  mutable next_node : int;
+  mutable rev_gms : gm_instance list;
+}
+
+let emit b p = b.rev_prims <- p :: b.rev_prims
+
+let fresh_node b =
+  let n = b.next_node in
+  b.next_node <- n + 1;
+  N n
+
+(* A transconductor output: the VCCS current plus its Ro/Co parasitics at
+   the driven node, and an optional Cgd-like coupling back to the control
+   node (transistor-level process only). *)
+let emit_gm b ~name ~ctrl ~out ~signed_gm ~gm ~gm_over_id =
+  let id = Process.bias_current ~gm ~gm_over_id in
+  let ro = Process.output_resistance b.process ~id in
+  let co = Process.output_capacitance b.process ~gm ~gm_over_id in
+  let pole_hz = Process.transit_frequency b.process ~gm_over_id in
+  emit b (Vccs { ctrl; out; gm = signed_gm; pole_hz });
+  emit b (Conductance (out, Gnd, 1.0 /. ro));
+  emit b (Capacitance (out, Gnd, co));
+  if b.process.Process.cross_cap_factor > 0.0 then
+    emit b (Capacitance (ctrl, out, b.process.Process.cross_cap_factor *. co));
+  b.rev_gms <- { gm_name = name; gm_value = gm; gm_over_id; bias_a = id } :: b.rev_gms
+
+let emit_passive b kind (a, bnode) ~r ~c =
+  match kind with
+  | Subcircuit.Single_r -> emit b (Conductance (a, bnode, 1.0 /. r))
+  | Subcircuit.Single_c -> emit b (Capacitance (a, bnode, c))
+  | Subcircuit.Rc Subcircuit.Parallel ->
+    emit b (Conductance (a, bnode, 1.0 /. r));
+    emit b (Capacitance (a, bnode, c))
+  | Subcircuit.Rc Subcircuit.Series -> emit b (Series_rc (a, bnode, r, c))
+
+let emit_element b elem (a, bnode) ~r ~c =
+  match elem with
+  | Subcircuit.Res -> emit b (Conductance (a, bnode, 1.0 /. r))
+  | Subcircuit.Cap -> emit b (Capacitance (a, bnode, c))
+
+let sign_of = function Subcircuit.Plus -> 1.0 | Subcircuit.Minus -> -1.0
+
+let slot_endpoints = function
+  | Topology.Vin_v2 -> (Vin, v2)
+  | Topology.Vin_vout -> (Vin, vout)
+  | Topology.V1_vout -> (v1, vout)
+  | Topology.V1_gnd -> (v1, Gnd)
+  | Topology.V2_gnd -> (v2, Gnd)
+
+let oriented dir (a, bnode) =
+  match dir with
+  | Subcircuit.Forward -> (a, bnode)
+  | Subcircuit.Backward -> (bnode, a)
+
+let kind_tag = function
+  | `Gm -> "gm"
+  | `Gm_over_id -> "gmid"
+  | `R -> "r"
+  | `C -> "c"
+
+(* Pull the physical value of each parameter kind a subcircuit declares,
+   keeping the declaration order of [Subcircuit.param_kinds]. *)
+let slot_values sizing idxs kinds =
+  let tbl = Hashtbl.create 4 in
+  List.iter2 (fun k i -> Hashtbl.replace tbl (kind_tag k) sizing.(i)) kinds idxs;
+  tbl
+
+let value tbl tag =
+  match Hashtbl.find_opt tbl tag with
+  | Some v -> v
+  | None -> invalid_arg ("Netlist: missing parameter " ^ tag)
+
+let emit_slot b topo sizing schema slot =
+  let sub = Topology.get topo slot in
+  let idxs = Params.slot_param_indices schema slot in
+  let kinds = Subcircuit.param_kinds sub in
+  let tbl = slot_values sizing idxs kinds in
+  let endpoints = slot_endpoints slot in
+  let name = Topology.slot_name slot ^ ".gm" in
+  match sub with
+  | Subcircuit.No_conn -> ()
+  | Subcircuit.Passive kind ->
+    let r = if List.mem `R kinds then value tbl "r" else 0.0 in
+    let c = if List.mem `C kinds then value tbl "c" else 0.0 in
+    emit_passive b kind endpoints ~r ~c
+  | Subcircuit.Gm (s, dir) ->
+    let ctrl, out = oriented dir endpoints in
+    let gm = value tbl "gm" and gmid = value tbl "gmid" in
+    emit_gm b ~name ~ctrl ~out ~signed_gm:(sign_of s *. gm) ~gm ~gm_over_id:gmid
+  | Subcircuit.Gm_with (s, dir, elem, combine) ->
+    let ctrl, out = oriented dir endpoints in
+    let gm = value tbl "gm" and gmid = value tbl "gmid" in
+    let r = if List.mem `R kinds then value tbl "r" else 0.0 in
+    let c = if List.mem `C kinds then value tbl "c" else 0.0 in
+    (match combine with
+    | Subcircuit.Parallel ->
+      emit_gm b ~name ~ctrl ~out ~signed_gm:(sign_of s *. gm) ~gm ~gm_over_id:gmid;
+      emit_element b elem endpoints ~r ~c
+    | Subcircuit.Series ->
+      (* The gm drives an internal node (carrying its parasitics); the
+         series element connects that node to the slot output.  This is the
+         pole/zero-forming structure discussed in Section IV-B. *)
+      let m = fresh_node b in
+      emit_gm b ~name ~ctrl ~out:m ~signed_gm:(sign_of s *. gm) ~gm ~gm_over_id:gmid;
+      emit_element b elem (m, out) ~r ~c)
+
+let stage_specs =
+  [ (1, Subcircuit.Minus, Vin, v1); (2, Subcircuit.Plus, v1, v2); (3, Subcircuit.Minus, v2, vout) ]
+
+let build ?(process = Process.behavioral) topo ~sizing ~cl_f =
+  let schema = Params.schema topo in
+  if Array.length sizing <> Params.dim schema then
+    invalid_arg "Netlist.build: sizing vector dimension mismatch";
+  let b = { process; rev_prims = []; next_node = 3; rev_gms = [] } in
+  List.iter
+    (fun (i, pol, ctrl, out) ->
+      let gm = sizing.((i - 1) * 2) and gmid = sizing.(((i - 1) * 2) + 1) in
+      emit_gm b
+        ~name:(Printf.sprintf "stage%d" i)
+        ~ctrl ~out ~signed_gm:(sign_of pol *. gm) ~gm ~gm_over_id:gmid)
+    stage_specs;
+  emit b (Capacitance (vout, Gnd, cl_f));
+  List.iter (fun slot -> emit_slot b topo sizing schema slot) Topology.slots;
+  let total_bias = List.fold_left (fun acc g -> acc +. g.bias_a) 0.0 b.rev_gms in
+  {
+    prims = List.rev b.rev_prims;
+    n_unknowns = b.next_node;
+    power_w = process.Process.vdd *. total_bias *. process.Process.power_overhead;
+    gms = List.rev b.rev_gms;
+  }

@@ -1,0 +1,47 @@
+(** Expansion of a sized topology into MNA-ready primitive elements.
+
+    The netlist is a flat list of linear primitives over a node set
+    consisting of ground, the driven input [vin], the three main circuit
+    nodes (v1, v2, vout) and any internal nodes introduced by transconductors
+    with a series element (the transconductor's parasitic-loaded output). *)
+
+type node =
+  | Gnd
+  | Vin  (** ideal AC source, amplitude 1 *)
+  | N of int  (** unknown: 0 = v1, 1 = v2, 2 = vout, 3+ = internal *)
+
+val v1 : node
+val v2 : node
+val vout : node
+
+type prim =
+  | Conductance of node * node * float  (** siemens *)
+  | Capacitance of node * node * float  (** farad *)
+  | Series_rc of node * node * float * float
+      (** R (ohm) and C (farad) in series; stamped with the analytic
+          admittance [Y(s) = sC / (1 + sRC)]. *)
+  | Vccs of { ctrl : node; out : node; gm : float; pole_hz : float }
+      (** signed transconductance: injects [gm(jw) * v(ctrl)] into [out],
+          with the single-pole roll-off [gm(jw) = gm / (1 + jf/pole_hz)]
+          at the device transit frequency — the excess phase that makes
+          power-efficient (weak-inversion) stages slow. *)
+
+type gm_instance = {
+  gm_name : string;  (** e.g. ["stage1"], ["v1-vout.gm"] *)
+  gm_value : float;
+  gm_over_id : float;
+  bias_a : float;  (** bias current, A *)
+}
+
+type t = {
+  prims : prim list;
+  n_unknowns : int;
+  power_w : float;  (** static power including process overhead *)
+  gms : gm_instance list;
+}
+
+val build : ?process:Process.t -> Topology.t -> sizing:float array -> cl_f:float -> t
+(** [build topo ~sizing ~cl_f] expands the topology under the physical sizing
+    vector (see {!Params}) with load capacitance [cl_f] at [vout].
+    @raise Invalid_argument when the sizing vector does not match the
+    topology's schema dimension. *)

@@ -1,0 +1,97 @@
+type kind = [ `Gm | `Gm_over_id | `R | `C ]
+
+type param = {
+  name : string;
+  kind : kind;
+  lo : float;
+  hi : float;
+  log_scale : bool;
+}
+
+type schema = {
+  topo : Topology.t;
+  plist : param list;
+  slot_indices : (Topology.slot * int list) list;
+}
+
+let param_of_kind name = function
+  | `Gm -> { name; kind = `Gm; lo = Process.gm_lo; hi = Process.gm_hi; log_scale = true }
+  | `Gm_over_id ->
+    { name; kind = `Gm_over_id; lo = Process.gmid_lo; hi = Process.gmid_hi; log_scale = false }
+  | `R -> { name; kind = `R; lo = Process.r_lo; hi = Process.r_hi; log_scale = true }
+  | `C -> { name; kind = `C; lo = Process.c_lo; hi = Process.c_hi; log_scale = true }
+
+let kind_suffix = function
+  | `Gm -> "gm"
+  | `Gm_over_id -> "gmid"
+  | `R -> "R"
+  | `C -> "C"
+
+let schema topo =
+  let stage_params =
+    List.concat_map
+      (fun i ->
+        [
+          param_of_kind (Printf.sprintf "gm%d" i) `Gm;
+          param_of_kind (Printf.sprintf "gmid%d" i) `Gm_over_id;
+        ])
+      [ 1; 2; 3 ]
+  in
+  let next = ref (List.length stage_params) in
+  let slot_entries =
+    List.map
+      (fun slot ->
+        let kinds = Subcircuit.param_kinds (Topology.get topo slot) in
+        let ps =
+          List.map
+            (fun k ->
+              param_of_kind
+                (Printf.sprintf "%s.%s" (Topology.slot_name slot) (kind_suffix k))
+                k)
+            kinds
+        in
+        let idxs = List.mapi (fun i _ -> !next + i) ps in
+        next := !next + List.length ps;
+        (slot, ps, idxs))
+      Topology.slots
+  in
+  {
+    topo;
+    plist = stage_params @ List.concat_map (fun (_, ps, _) -> ps) slot_entries;
+    slot_indices = List.map (fun (s, _, idxs) -> (s, idxs)) slot_entries;
+  }
+
+let dim s = List.length s.plist
+let params s = s.plist
+let topology s = s.topo
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let denorm_one p u =
+  let u = clamp 0.0 1.0 u in
+  if p.log_scale then exp (log p.lo +. (u *. (log p.hi -. log p.lo)))
+  else p.lo +. (u *. (p.hi -. p.lo))
+
+let norm_one p x =
+  let x = clamp p.lo p.hi x in
+  if p.log_scale then (log x -. log p.lo) /. (log p.hi -. log p.lo)
+  else (x -. p.lo) /. (p.hi -. p.lo)
+
+let check_dim s v name =
+  if Array.length v <> dim s then invalid_arg ("Params." ^ name ^ ": dimension mismatch")
+
+let denormalize s u =
+  check_dim s u "denormalize";
+  let ps = Array.of_list s.plist in
+  Array.mapi (fun i x -> denorm_one ps.(i) x) u
+
+let normalize s x =
+  check_dim s x "normalize";
+  let ps = Array.of_list s.plist in
+  Array.mapi (fun i v -> norm_one ps.(i) v) x
+
+let random_point rng s = Array.init (dim s) (fun _ -> Into_util.Rng.float rng)
+let default_point s = Array.make (dim s) 0.5
+
+let slot_param_indices s slot =
+  match List.assoc_opt slot s.slot_indices with Some l -> l | None -> []

@@ -1,0 +1,41 @@
+(** Sizing-parameter schema of a topology.
+
+    Every topology exposes a fixed vector of tunable parameters: the three
+    stage transconductances and their inversion levels, followed by the
+    parameters of each variable subcircuit in canonical slot order.  The
+    sizing BO works on the normalized cube [0,1]^d; this module maps it to
+    physical values (log scale for gm/R/C, linear for gm/Id). *)
+
+type kind = [ `Gm | `Gm_over_id | `R | `C ]
+
+type param = {
+  name : string;  (** e.g. ["gm1"], ["v1-vout.R"] *)
+  kind : kind;
+  lo : float;
+  hi : float;
+  log_scale : bool;
+}
+
+type schema
+
+val schema : Topology.t -> schema
+val dim : schema -> int
+val params : schema -> param list
+val topology : schema -> Topology.t
+
+val denormalize : schema -> float array -> float array
+(** Map a point of [0,1]^d to physical parameter values (clamps inputs to
+    [0,1] first). @raise Invalid_argument on a dimension mismatch. *)
+
+val normalize : schema -> float array -> float array
+(** Inverse of {!denormalize} (clamps to the parameter box). *)
+
+val random_point : Into_util.Rng.t -> schema -> float array
+(** Uniform point of the normalized cube. *)
+
+val default_point : schema -> float array
+(** Mid-cube point: geometric mean of each log-scaled range. *)
+
+val slot_param_indices : schema -> Topology.slot -> int list
+(** Positions in the sizing vector owned by the given slot (empty when the
+    slot carries no tunable element). *)

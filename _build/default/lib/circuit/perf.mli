@@ -1,0 +1,37 @@
+(** Circuit performance records, the figure of merit and spec checking.
+
+    FoM = GBW [MHz] * CL [pF] / Power [mW]  (Eq. 6). *)
+
+type t = {
+  gain_db : float;
+  gbw_hz : float;
+  pm_deg : float;
+  power_w : float;
+}
+
+val fom : t -> cl_f:float -> float
+
+val satisfies : t -> Spec.t -> bool
+(** All four Table-I constraints hold. *)
+
+val violation : t -> Spec.t -> float
+(** Sum of normalized constraint violations; 0 iff {!satisfies}. *)
+
+val metrics : (string * (t -> float) * (Spec.t -> float * [ `Min | `Max ])) list
+(** The four constrained metrics as (name, extractor, spec-bound) triples, in
+    a canonical order (Gain dB, GBW Hz, PM deg, Power W).  Used to build one
+    surrogate model per metric. *)
+
+val stability_checked_pm : Netlist.t -> float -> float
+(** Guard a Bode-derived phase margin with the exact pencil eigenvalues:
+    circuits that are open-loop unstable (internal compensation loops can
+    oscillate, making the AC sweep meaningless) or unity-feedback unstable
+    are forced to a margin of at most -90 degrees. *)
+
+val evaluate :
+  ?process:Process.t -> Topology.t -> sizing:float array -> cl_f:float -> t option
+(** Full evaluation: expand the netlist, run the AC analysis with the
+    eigenvalue stability guard, attach static power.  [None] when the
+    simulation fails (singular system). *)
+
+val to_string : t -> cl_f:float -> string

@@ -1,0 +1,35 @@
+type t = {
+  vdd : float;
+  va : float;
+  ft_hz : float;
+  co_floor_f : float;
+  power_overhead : float;
+  cross_cap_factor : float;
+}
+
+let behavioral =
+  {
+    vdd = 1.8;
+    va = 6.0;
+    ft_hz = 1.5e9;
+    co_floor_f = 10e-15;
+    power_overhead = 1.0;
+    cross_cap_factor = 0.0;
+  }
+
+let gm_lo = 1e-6
+let gm_hi = 2e-3
+let gmid_lo = 5.0
+let gmid_hi = 25.0
+let r_lo = 1e3
+let r_hi = 1e8
+let c_lo = 1e-14
+let c_hi = 1e-10
+
+let bias_current ~gm ~gm_over_id = gm /. gm_over_id
+let output_resistance p ~id = p.va /. id
+
+let transit_frequency p ~gm_over_id = p.ft_hz *. ((gmid_lo /. gm_over_id) ** 2.5)
+
+let output_capacitance p ~gm ~gm_over_id =
+  (gm /. (2.0 *. Float.pi *. transit_frequency p ~gm_over_id)) +. p.co_floor_f

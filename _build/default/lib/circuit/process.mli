@@ -1,0 +1,53 @@
+(** Behavior-level "process" constants: the physical model behind the
+    abstract transconductor stages (Section II-C and DESIGN.md section 4).
+
+    Every transconductor [gm] draws a bias current [Id = gm / (gm/Id)],
+    sees an output resistance [Ro = va / Id] (Early-voltage model) and an
+    output capacitance [Co = gm / (2 pi ft) + co_floor] (transit-frequency
+    model).  The transistor-level re-evaluation uses a degraded process to
+    model extracted parasitics and bias overhead. *)
+
+type t = {
+  vdd : float;  (** supply voltage, V *)
+  va : float;  (** Early voltage, V *)
+  ft_hz : float;  (** device transit frequency, Hz *)
+  co_floor_f : float;  (** minimum parasitic node capacitance, F *)
+  power_overhead : float;  (** multiplicative bias-circuit power overhead *)
+  cross_cap_factor : float;
+      (** extra Miller (Cgd-like) coupling capacitance across each stage, as
+          a fraction of the stage's [Co]; zero at the behavior level. *)
+}
+
+val behavioral : t
+(** The nominal behavior-level model (optimistic parasitics, no overhead). *)
+
+val gm_lo : float
+val gm_hi : float
+(** Transconductance sizing range, S. *)
+
+val gmid_lo : float
+val gmid_hi : float
+(** Inversion-level (gm/Id) sizing range, S/A. *)
+
+val r_lo : float
+val r_hi : float
+(** Resistor sizing range, ohm. *)
+
+val c_lo : float
+val c_hi : float
+(** Capacitor sizing range, F. *)
+
+val bias_current : gm:float -> gm_over_id:float -> float
+(** [Id = gm / (gm/Id)]. *)
+
+val output_resistance : t -> id:float -> float
+(** [Ro = va / Id]. *)
+
+val transit_frequency : t -> gm_over_id:float -> float
+(** Effective device transit frequency at the given inversion level:
+    [ft * (gmid_lo / gm_over_id)^2.5].  Weak inversion (high gm/Id) buys
+    gain and power efficiency but costs speed, which is the trade-off the
+    specs of Table I exercise. *)
+
+val output_capacitance : t -> gm:float -> gm_over_id:float -> float
+(** [Co = gm / (2 pi ft_eff) + co_floor]. *)

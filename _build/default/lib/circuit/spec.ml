@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  min_gain_db : float;
+  min_gbw_hz : float;
+  min_pm_deg : float;
+  max_power_w : float;
+  cl_f : float;
+}
+
+let base =
+  {
+    name = "S-1";
+    min_gain_db = 85.0;
+    min_gbw_hz = 0.5e6;
+    min_pm_deg = 55.0;
+    max_power_w = 750e-6;
+    cl_f = 10e-12;
+  }
+
+let s1 = base
+let s2 = { base with name = "S-2"; min_gain_db = 110.0 }
+let s3 = { base with name = "S-3"; min_gbw_hz = 5e6 }
+let s4 = { base with name = "S-4"; max_power_w = 150e-6 }
+let s5 = { base with name = "S-5"; cl_f = 10000e-12 }
+
+let all = [ s1; s2; s3; s4; s5 ]
+
+let find name = List.find (fun s -> String.equal s.name name) all
+
+let to_string s =
+  Printf.sprintf "%s: Gain>%.0fdB GBW>%.1fMHz PM>%.0fdeg Power<%.0fuW CL=%.0fpF"
+    s.name s.min_gain_db (s.min_gbw_hz /. 1e6) s.min_pm_deg (s.max_power_w *. 1e6)
+    (s.cl_f *. 1e12)

@@ -1,0 +1,33 @@
+(** Design specification sets (Table I of the paper). *)
+
+type t = {
+  name : string;
+  min_gain_db : float;
+  min_gbw_hz : float;
+  min_pm_deg : float;
+  max_power_w : float;
+  cl_f : float;  (** load capacitance, F *)
+}
+
+val s1 : t
+(** Gain>85dB, GBW>0.5MHz, PM>55deg, Power<750uW, CL=10pF. *)
+
+val s2 : t
+(** High gain: Gain>110dB. *)
+
+val s3 : t
+(** High bandwidth: GBW>5MHz. *)
+
+val s4 : t
+(** Low power: Power<150uW. *)
+
+val s5 : t
+(** Large load: CL=10000pF. *)
+
+val all : t list
+(** [s1; s2; s3; s4; s5]. *)
+
+val find : string -> t
+(** Look up by name (["S-1"] .. ["S-5"]). @raise Not_found otherwise. *)
+
+val to_string : t -> string

@@ -1,0 +1,41 @@
+let node_name = function
+  | Netlist.Gnd -> "0"
+  | Netlist.Vin -> "vin"
+  | Netlist.N 0 -> "v1"
+  | Netlist.N 1 -> "v2"
+  | Netlist.N 2 -> "vout"
+  | Netlist.N i -> Printf.sprintf "n%d" i
+
+let behavioral ?(title = "INTO-OA behavioral op-amp") topo ~sizing ~cl_f =
+  let netlist = Netlist.build topo ~sizing ~cl_f in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "* %s" title;
+  line "* topology: %s" (Topology.to_string topo);
+  line "* power (static, behavioral): %.4g W" netlist.Netlist.power_w;
+  line "vin vin 0 dc 0 ac 1";
+  let r_id = ref 0 and c_id = ref 0 and g_id = ref 0 and rc_id = ref 0 in
+  List.iter
+    (fun prim ->
+      match prim with
+      | Netlist.Conductance (a, b, g) ->
+        incr r_id;
+        line "r%d %s %s %.6g" !r_id (node_name a) (node_name b) (1.0 /. g)
+      | Netlist.Capacitance (a, b, c) ->
+        incr c_id;
+        line "c%d %s %s %.6g" !c_id (node_name a) (node_name b) c
+      | Netlist.Series_rc (a, b, r, c) ->
+        incr rc_id;
+        (* Expand to an explicit internal node. *)
+        let mid = Printf.sprintf "rcm%d" !rc_id in
+        line "r_s%d %s %s %.6g" !rc_id (node_name a) mid r;
+        line "c_s%d %s %s %.6g" !rc_id mid (node_name b) c
+      | Netlist.Vccs { ctrl; out; gm; pole_hz } ->
+        incr g_id;
+        line "* transconductor %d: single-pole roll-off at %.4g Hz" !g_id pole_hz;
+        line "g%d %s 0 %s 0 %.6g" !g_id (node_name out) (node_name ctrl) gm)
+    netlist.Netlist.prims;
+  line ".ac dec %d %g %g" 16 Ac.f_min Ac.f_max;
+  line ".print ac vdb(vout) vp(vout)";
+  line ".end";
+  Buffer.contents buf

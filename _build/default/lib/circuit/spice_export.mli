@@ -1,0 +1,11 @@
+(** SPICE netlist export.
+
+    Emits the behavioral design as a standard .sp deck (G elements for the
+    transconductors with their parasitics spelled out, R/C for passives,
+    an .ac statement matching our sweep), so a design found by INTO-OA can
+    be cross-checked in any external simulator — the bridge back to the
+    Hspice flow of the paper. *)
+
+val behavioral : ?title:string -> Topology.t -> sizing:float array -> cl_f:float -> string
+(** The full SPICE deck as a string.
+    @raise Invalid_argument on a sizing/schema mismatch. *)

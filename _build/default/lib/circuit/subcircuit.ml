@@ -1,0 +1,85 @@
+type element = Res | Cap
+type combine = Series | Parallel
+type polarity = Plus | Minus
+type direction = Forward | Backward
+
+type passive_kind =
+  | Single_r
+  | Single_c
+  | Rc of combine
+
+type t =
+  | No_conn
+  | Passive of passive_kind
+  | Gm of polarity * direction
+  | Gm_with of polarity * direction * element * combine
+
+let passive_kinds = [ Single_r; Single_c; Rc Parallel; Rc Series ]
+let polarities = [ Plus; Minus ]
+let directions = [ Forward; Backward ]
+let elements = [ Res; Cap ]
+let combines = [ Series; Parallel ]
+
+let all =
+  No_conn
+  :: List.map (fun p -> Passive p) passive_kinds
+  @ List.concat_map
+      (fun s -> List.map (fun d -> Gm (s, d)) directions)
+      polarities
+  @ List.concat_map
+      (fun s ->
+        List.concat_map
+          (fun d ->
+            List.concat_map
+              (fun e -> List.map (fun c -> Gm_with (s, d, e, c)) combines)
+              elements)
+          directions)
+      polarities
+
+let passive_only = No_conn :: List.map (fun p -> Passive p) passive_kinds
+
+let gm_from_input =
+  No_conn
+  :: List.concat_map
+       (fun s ->
+         Gm (s, Forward)
+         :: List.map (fun e -> Gm_with (s, Forward, e, Series)) elements)
+       polarities
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let polarity_string = function Plus -> "+" | Minus -> "-"
+let element_string = function Res -> "R" | Cap -> "C"
+let combine_string = function Series -> "s" | Parallel -> "p"
+let direction_string = function Forward -> "->" | Backward -> "<-"
+
+let to_string = function
+  | No_conn -> "none"
+  | Passive Single_r -> "R"
+  | Passive Single_c -> "C"
+  | Passive (Rc Parallel) -> "RCp"
+  | Passive (Rc Series) -> "RCs"
+  | Gm (s, d) -> polarity_string s ^ "gm" ^ direction_string d
+  | Gm_with (s, d, e, c) ->
+    polarity_string s ^ "gm" ^ element_string e ^ combine_string c
+    ^ direction_string d
+
+(* The circuit graph is undirected (Section III-A), so the orientation of a
+   floating transconductor must be part of its node label — two circuits
+   differing only in gm direction are different designs and must not
+   collapse to the same WL features. *)
+let label = to_string
+
+let is_gm = function
+  | No_conn | Passive _ -> false
+  | Gm _ | Gm_with _ -> true
+
+let param_kinds = function
+  | No_conn -> []
+  | Passive Single_r -> [ `R ]
+  | Passive Single_c -> [ `C ]
+  | Passive (Rc _) -> [ `R; `C ]
+  | Gm _ -> [ `Gm; `Gm_over_id ]
+  | Gm_with (_, _, Res, _) -> [ `Gm; `Gm_over_id; `R ]
+  | Gm_with (_, _, Cap, _) -> [ `Gm; `Gm_over_id; `C ]

@@ -1,0 +1,62 @@
+(** The 25-type algebra of behavior-level variable subcircuits (Section II-C).
+
+    A variable subcircuit sits between a pair of circuit nodes and is one of:
+    - a single R or C;
+    - R and C connected in parallel or in series;
+    - a transconductor [gm] with either polarity and direction;
+    - a [gm] combined with an R or C in series or in parallel
+      (2 polarities x 2 directions x 2 elements x 2 combinations = 16);
+    - no connection.
+
+    Transconductors are amplifier stages: they carry the parasitic
+    [Ro]/[Co] model of Section II-C and draw bias current. *)
+
+type element = Res | Cap
+type combine = Series | Parallel
+type polarity = Plus | Minus
+
+type direction = Forward | Backward
+(** Orientation of a floating transconductor between slot endpoints (a, b):
+    [Forward] senses [a] and drives [b]; [Backward] senses [b] and drives
+    [a].  Slots anchored at [vin] only admit [Forward]. *)
+
+type passive_kind =
+  | Single_r
+  | Single_c
+  | Rc of combine
+
+type t =
+  | No_conn
+  | Passive of passive_kind
+  | Gm of polarity * direction
+  | Gm_with of polarity * direction * element * combine
+
+val all : t list
+(** All 25 types, in a fixed canonical order. *)
+
+val passive_only : t list
+(** The 5 types allowed between an internal node and ground:
+    no connection plus the four passives. *)
+
+val gm_from_input : t list
+(** The 7 types allowed on slots anchored at [vin]: no connection, +/-gm,
+    and +/-gm with a series R or series C. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** Compact designer-facing name, e.g. ["RCs"], ["-gmRs"], ["+gm<-"]. *)
+
+val label : t -> string
+(** Graph-node label used by the WL kernel (stable across runs; includes
+    polarity and direction, since the undirected circuit graph would
+    otherwise merge distinct designs). *)
+
+val is_gm : t -> bool
+(** Whether the subcircuit contains a transconductor (and hence burns power
+    and carries parasitics). *)
+
+val param_kinds : t -> [ `Gm | `Gm_over_id | `R | `C ] list
+(** Tunable parameters contributed by this subcircuit type, in the order the
+    sizing vector stores them. *)

@@ -1,0 +1,144 @@
+type slot = Vin_v2 | Vin_vout | V1_vout | V1_gnd | V2_gnd
+
+let slots = [ Vin_v2; Vin_vout; V1_vout; V1_gnd; V2_gnd ]
+
+let slot_name = function
+  | Vin_v2 -> "vin-v2"
+  | Vin_vout -> "vin-vout"
+  | V1_vout -> "v1-vout"
+  | V1_gnd -> "v1-gnd"
+  | V2_gnd -> "v2-gnd"
+
+let input_types = Array.of_list Subcircuit.gm_from_input
+let full_types = Array.of_list Subcircuit.all
+let shunt_types = Array.of_list Subcircuit.passive_only
+
+let allowed = function
+  | Vin_v2 | Vin_vout -> input_types
+  | V1_vout -> full_types
+  | V1_gnd | V2_gnd -> shunt_types
+
+type t = {
+  vin_v2 : Subcircuit.t;
+  vin_vout : Subcircuit.t;
+  v1_vout : Subcircuit.t;
+  v1_gnd : Subcircuit.t;
+  v2_gnd : Subcircuit.t;
+}
+
+let check slot sub =
+  let ok = Array.exists (Subcircuit.equal sub) (allowed slot) in
+  if not ok then
+    invalid_arg
+      (Printf.sprintf "Topology: subcircuit %s not allowed in slot %s"
+         (Subcircuit.to_string sub) (slot_name slot))
+
+let make ~vin_v2 ~vin_vout ~v1_vout ~v1_gnd ~v2_gnd =
+  check Vin_v2 vin_v2;
+  check Vin_vout vin_vout;
+  check V1_vout v1_vout;
+  check V1_gnd v1_gnd;
+  check V2_gnd v2_gnd;
+  { vin_v2; vin_vout; v1_vout; v1_gnd; v2_gnd }
+
+let get t = function
+  | Vin_v2 -> t.vin_v2
+  | Vin_vout -> t.vin_vout
+  | V1_vout -> t.v1_vout
+  | V1_gnd -> t.v1_gnd
+  | V2_gnd -> t.v2_gnd
+
+let set t slot sub =
+  check slot sub;
+  match slot with
+  | Vin_v2 -> { t with vin_v2 = sub }
+  | Vin_vout -> { t with vin_vout = sub }
+  | V1_vout -> { t with v1_vout = sub }
+  | V1_gnd -> { t with v1_gnd = sub }
+  | V2_gnd -> { t with v2_gnd = sub }
+
+let equal a b = a = b
+let compare = Stdlib.compare
+
+let space_size =
+  List.fold_left (fun acc s -> acc * Array.length (allowed s)) 1 slots
+
+let index_in_slot slot sub =
+  let types = allowed slot in
+  let rec find i =
+    if i >= Array.length types then
+      invalid_arg "Topology.index_in_slot: type not in slot"
+    else if Subcircuit.equal types.(i) sub then i
+    else find (i + 1)
+  in
+  find 0
+
+let to_index t =
+  List.fold_left
+    (fun acc slot -> (acc * Array.length (allowed slot)) + index_in_slot slot (get t slot))
+    0 slots
+
+let of_index idx =
+  if idx < 0 || idx >= space_size then invalid_arg "Topology.of_index: out of range";
+  (* Decode the mixed-radix digits from least-significant slot backwards. *)
+  let rev_slots = List.rev slots in
+  let rem = ref idx in
+  let digits =
+    List.map
+      (fun slot ->
+        let base = Array.length (allowed slot) in
+        let d = !rem mod base in
+        rem := !rem / base;
+        (slot, (allowed slot).(d)))
+      rev_slots
+  in
+  let find slot = List.assoc slot digits in
+  {
+    vin_v2 = find Vin_v2;
+    vin_vout = find Vin_vout;
+    v1_vout = find V1_vout;
+    v1_gnd = find V1_gnd;
+    v2_gnd = find V2_gnd;
+  }
+
+let random rng = of_index (Into_util.Rng.int rng space_size)
+
+let mutate_slot rng t slot =
+  let current = get t slot in
+  let types = allowed slot in
+  let rec draw () =
+    let s = Into_util.Rng.choice rng types in
+    if Subcircuit.equal s current then draw () else s
+  in
+  set t slot (draw ())
+
+let mutate rng t =
+  let mutated = ref false in
+  let t' =
+    List.fold_left
+      (fun acc slot ->
+        if Into_util.Rng.float rng < 0.2 then begin
+          mutated := true;
+          mutate_slot rng acc slot
+        end
+        else acc)
+      t slots
+  in
+  if !mutated then t'
+  else mutate_slot rng t (Into_util.Rng.choice rng (Array.of_list slots))
+
+let hamming a b =
+  List.fold_left
+    (fun acc slot -> if Subcircuit.equal (get a slot) (get b slot) then acc else acc + 1)
+    0 slots
+
+let to_string t =
+  let cell slot =
+    Printf.sprintf "%s:%s" (slot_name slot) (Subcircuit.to_string (get t slot))
+  in
+  "[" ^ String.concat " " (List.map cell slots) ^ "]"
+
+let nmc () =
+  make ~vin_v2:Subcircuit.No_conn ~vin_vout:Subcircuit.No_conn
+    ~v1_vout:(Subcircuit.Passive (Subcircuit.Rc Subcircuit.Series))
+    ~v1_gnd:Subcircuit.No_conn ~v2_gnd:Subcircuit.No_conn

@@ -1,0 +1,69 @@
+(** The behavior-level topology design space for three-stage op-amps.
+
+    A topology fixes the type of each of the five variable subcircuit slots;
+    the three main amplifier stages (-gm1, +gm2, -gm3) are always present.
+    With the rule set R of Section II-C the space holds
+    7 x 7 x 25 x 5 x 5 = 30625 distinct topologies. *)
+
+type slot =
+  | Vin_v2      (** feedforward path, vin -> v2 (7 types) *)
+  | Vin_vout    (** feedforward path, vin -> vout (7 types) *)
+  | V1_vout     (** compensation path between v1 and vout (25 types) *)
+  | V1_gnd      (** shunt at v1 (5 types) *)
+  | V2_gnd      (** shunt at v2 (5 types) *)
+
+val slots : slot list
+(** The five slots in canonical order. *)
+
+val slot_name : slot -> string
+
+val allowed : slot -> Subcircuit.t array
+(** The rule set R: subcircuit types admissible in a slot. *)
+
+type t
+(** An immutable topology: one subcircuit type per slot. *)
+
+val make :
+  vin_v2:Subcircuit.t ->
+  vin_vout:Subcircuit.t ->
+  v1_vout:Subcircuit.t ->
+  v1_gnd:Subcircuit.t ->
+  v2_gnd:Subcircuit.t ->
+  t
+(** @raise Invalid_argument when a subcircuit type violates the rule set. *)
+
+val get : t -> slot -> Subcircuit.t
+val set : t -> slot -> Subcircuit.t -> t
+(** Functional update. @raise Invalid_argument on a rule violation. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val space_size : int
+(** 30625. *)
+
+val to_index : t -> int
+(** Bijection onto [0, space_size-1] (mixed-radix encoding). *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. @raise Invalid_argument out of range. *)
+
+val random : Into_util.Rng.t -> t
+(** Uniform sample from the design space. *)
+
+val mutate : Into_util.Rng.t -> t -> t
+(** One mutation step of the candidate generator: every slot is redrawn
+    (to a different admissible type) with probability 1/5, so the expected
+    number of mutated subcircuits is one; if no slot fired, one uniformly
+    chosen slot is forced to change, guaranteeing the result differs from
+    the input. *)
+
+val hamming : t -> t -> int
+(** Number of slots whose types differ. *)
+
+val to_string : t -> string
+(** e.g. ["[vin-v2:none vin-vout:-gm-> v1-vout:RCs v1-gnd:none v2-gnd:none]"] *)
+
+val nmc : unit -> t
+(** A classic nested-Miller-style seed: series-RC compensation between v1 and
+    vout, everything else unconnected.  Used by examples and tests. *)

@@ -1,0 +1,38 @@
+(** Time-domain step-response simulation by trapezoidal integration of the
+    descriptor system [(G + sC) x = b(s) u].
+
+    Large-signal limits are outside the linear behavioral model, but the
+    small-signal step response still reveals ringing, settling time and
+    overshoot — the dynamic quantities designers read next to the phase
+    margin.  The closed-loop variant folds the unity-feedback connection
+    [u = v_step - v_out] into the matrices, so an under-margined amplifier
+    visibly rings and an unstable one diverges. *)
+
+type waveform = {
+  time_s : float array;
+  vout : float array;
+  final_value : float;  (** DC target of the response *)
+}
+
+type metrics = {
+  overshoot_pct : float;  (** peak excursion beyond the final value *)
+  settling_time_s : float option;
+      (** first time after which the response stays within the band;
+          [None] when it never settles inside the simulated window *)
+  settled : bool;
+}
+
+val step_response :
+  ?closed_loop:bool ->
+  ?t_end:float ->
+  ?points:int ->
+  Netlist.t ->
+  waveform
+(** Unit-step response sampled uniformly.  [closed_loop] defaults to true
+    (the standard op-amp settling testbench); [t_end] defaults to 200 time
+    constants of the unity-gain frequency when one exists (slow pole/zero
+    doublets settle late); [points] defaults to 2000. *)
+
+val measure : ?band:float -> waveform -> metrics
+(** Settling metrics with a [band] (default 0.01, i.e. 1%) around the final
+    value. *)

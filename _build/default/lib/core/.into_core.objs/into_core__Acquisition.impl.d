@@ -1,0 +1,1 @@
+lib/core/acquisition.ml: Float Into_util List

@@ -1,0 +1,1 @@
+lib/core/attribution.ml: Array Float Into_circuit Into_gp Into_graph List

@@ -1,0 +1,1 @@
+lib/core/attribution.mli: Into_circuit Into_gp

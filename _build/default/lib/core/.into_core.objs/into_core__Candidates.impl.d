@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Array Hashtbl Into_circuit Into_util List

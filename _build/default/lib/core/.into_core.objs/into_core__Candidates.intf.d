@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Into_circuit Into_util

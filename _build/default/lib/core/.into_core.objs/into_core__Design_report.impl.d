@@ -1,0 +1,1 @@
+lib/core/design_report.ml: Attribution Into_circuit List Option Printf Sensitivity String

@@ -1,0 +1,1 @@
+lib/core/design_report.mli: Into_circuit Into_gp

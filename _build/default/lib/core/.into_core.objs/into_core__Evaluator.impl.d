@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Into_circuit Sizing

@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Into_circuit Into_util Sizing

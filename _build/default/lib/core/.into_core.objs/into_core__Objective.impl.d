@@ -1,0 +1,1 @@
+lib/core/objective.ml: Array Float Into_circuit List

@@ -1,0 +1,1 @@
+lib/core/objective.mli: Into_circuit

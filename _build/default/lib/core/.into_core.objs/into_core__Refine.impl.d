@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Attribution Into_circuit Into_gp Into_graph List Objective Option Sizing Sizing_transfer

@@ -1,0 +1,1 @@
+lib/core/refine.mli: Into_circuit Into_gp Into_util Sizing

@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Into_circuit List Option Sizing_transfer

@@ -1,0 +1,1 @@
+lib/core/sizing.ml: Acquisition Array Float Into_circuit Into_gp Into_linalg Into_util List Objective Option

@@ -1,0 +1,1 @@
+lib/core/sizing.mli: Into_circuit Into_util

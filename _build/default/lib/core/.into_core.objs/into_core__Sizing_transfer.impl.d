@@ -1,0 +1,1 @@
+lib/core/sizing_transfer.ml: Array Into_circuit List

@@ -1,0 +1,1 @@
+lib/core/sizing_transfer.mli: Into_circuit

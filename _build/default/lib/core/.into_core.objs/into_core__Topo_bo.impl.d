@@ -1,0 +1,1 @@
+lib/core/topo_bo.ml: Acquisition Array Candidates Evaluator Float Hashtbl Into_circuit Into_gp Into_graph Into_util List Objective Option Sizing

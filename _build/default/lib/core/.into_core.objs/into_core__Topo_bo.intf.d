@@ -1,0 +1,1 @@
+lib/core/topo_bo.mli: Candidates Evaluator Into_circuit Into_gp Into_graph Into_util Sizing

@@ -1,0 +1,42 @@
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+module Wl = Into_graph.Wl
+module Wl_gp = Into_gp.Wl_gp
+module Circuit_graph = Into_graph.Circuit_graph
+
+type slot_report = {
+  slot : Topology.slot;
+  subcircuit : Subcircuit.t;
+  gradient : float;
+}
+
+let slot_gradients model topo =
+  let g = Circuit_graph.build topo in
+  let dict = Wl_gp.dict model in
+  let rows = Wl.node_feature_ids dict ~h:(Wl_gp.h model) g in
+  let slot_gradient node =
+    Array.fold_left
+      (fun acc row -> acc +. Wl_gp.feature_gradient model g ~feature_id:row.(node))
+      0.0 rows
+  in
+  List.filter_map
+    (fun slot ->
+      match Circuit_graph.slot_node topo slot with
+      | None -> None
+      | Some node ->
+        Some { slot; subcircuit = Topology.get topo slot; gradient = slot_gradient node })
+    Topology.slots
+
+let top_features model topo ~n =
+  let g = Circuit_graph.build topo in
+  let dict = Wl_gp.dict model in
+  let grads = Wl_gp.present_feature_gradients model g in
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) grads
+  in
+  let rec take k = function
+    | [] -> []
+    | (id, grad) :: rest ->
+      if k = 0 then [] else (Wl.describe dict id, grad) :: take (k - 1) rest
+  in
+  take n sorted

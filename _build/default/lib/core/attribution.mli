@@ -1,0 +1,28 @@
+(** Identification of performance-critical circuit structures (Section
+    III-C / IV-B).
+
+    The WL-GP posterior mean is linear in interpretable feature counts, so
+    its analytic gradient (Eq. 5) measures how strongly each structure
+    drives a performance metric.  A variable subcircuit's influence is the
+    summed gradient of the features rooted at its graph node across all WL
+    iterations: the h=0 term is the subcircuit itself, higher iterations
+    capture how it is wired. *)
+
+type slot_report = {
+  slot : Into_circuit.Topology.slot;
+  subcircuit : Into_circuit.Subcircuit.t;
+  gradient : float;
+      (** d(metric)/d(count of this slot's rooted structures); positive
+          means the structure pushes the metric up. *)
+}
+
+val slot_gradients :
+  Into_gp.Wl_gp.t -> Into_circuit.Topology.t -> slot_report list
+(** One report per connected variable slot of the topology. *)
+
+val top_features :
+  Into_gp.Wl_gp.t -> Into_circuit.Topology.t -> n:int -> (string * float) list
+(** The [n] features of the topology with the largest absolute gradient,
+    as (human-readable structure, gradient) pairs, sorted by |gradient|
+    descending.  This is the designer-facing "which structures matter"
+    report. *)

@@ -1,0 +1,47 @@
+module Topology = Into_circuit.Topology
+module Rng = Into_util.Rng
+
+type strategy = Random_only | Mutation_only | Mixed
+
+let strategy_name = function
+  | Random_only -> "INTO-OA-r"
+  | Mutation_only -> "INTO-OA-m"
+  | Mixed -> "INTO-OA"
+
+let generate ~rng ~strategy ~pool ~best ~visited =
+  let seeds = Array.of_list best in
+  let n_mutation =
+    match strategy with
+    | Random_only -> 0
+    | Mutation_only -> pool
+    | Mixed -> pool / 2
+  in
+  let chosen = Hashtbl.create (2 * pool) in
+  let taken = ref [] in
+  let n_taken = ref 0 in
+  let try_add topo =
+    let idx = Topology.to_index topo in
+    if (not (Hashtbl.mem chosen idx)) && not (visited topo) then begin
+      Hashtbl.replace chosen idx ();
+      taken := topo :: !taken;
+      incr n_taken
+    end
+  in
+  let propose kind =
+    match kind with
+    | `Mutation when Array.length seeds > 0 -> Topology.mutate rng (Rng.choice rng seeds)
+    | `Mutation | `Random -> Topology.random rng
+  in
+  (* Draw with a bounded number of misses so a nearly exhausted space (or a
+     fully visited mutation neighborhood) cannot loop forever. *)
+  let fill kind target =
+    let max_attempts = 30 * pool in
+    let attempts = ref 0 in
+    while !n_taken < target && !attempts < max_attempts do
+      incr attempts;
+      try_add (propose kind)
+    done
+  in
+  fill `Mutation n_mutation;
+  fill `Random pool;
+  List.rev !taken

@@ -1,0 +1,26 @@
+(** Candidate generation for the discrete topology space (Section III-D).
+
+    INTO-OA fills half the pool by mutating the current best topologies
+    (local exploitation; each variable subcircuit mutates with probability
+    1/5 so the expected number of changes is one) and half by uniform
+    random sampling (global exploration).  The ablations of the paper use a
+    single source.  Already-visited topologies are never proposed again. *)
+
+type strategy =
+  | Random_only  (** INTO-OA-r *)
+  | Mutation_only  (** INTO-OA-m *)
+  | Mixed  (** INTO-OA: half mutation, half random *)
+
+val strategy_name : strategy -> string
+
+val generate :
+  rng:Into_util.Rng.t ->
+  strategy:strategy ->
+  pool:int ->
+  best:Into_circuit.Topology.t list ->
+  visited:(Into_circuit.Topology.t -> bool) ->
+  Into_circuit.Topology.t list
+(** Up to [pool] distinct unvisited candidates.  Mutation seeds are drawn
+    uniformly from [best] (falling back to random sampling when [best] is
+    empty).  The pool can come back smaller than requested only when the
+    unvisited space is nearly exhausted. *)

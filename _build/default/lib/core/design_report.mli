@@ -1,0 +1,17 @@
+(** Designer-facing report for a synthesized or refined op-amp.
+
+    Ties the interpretability machinery together into the artifact a human
+    reviewer reads before trusting an automatically generated topology:
+    measured performance, the WL-GP gradient attribution per metric and
+    variable subcircuit, the most influential structural features, the
+    exact pole/zero constellation and the remove-and-resimulate deltas. *)
+
+val render :
+  models:(string * Into_gp.Wl_gp.t) list ->
+  spec:Into_circuit.Spec.t ->
+  sizing:float array ->
+  Into_circuit.Topology.t ->
+  string
+(** Multi-line report.  Surrogate sections degrade gracefully when a model
+    is missing; the simulation sections require the design to simulate.
+    @raise Invalid_argument when the baseline simulation fails. *)

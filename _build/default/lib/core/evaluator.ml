@@ -1,0 +1,29 @@
+module Perf = Into_circuit.Perf
+module Spec = Into_circuit.Spec
+
+type evaluation = {
+  topology : Into_circuit.Topology.t;
+  sizing : float array;
+  perf : Perf.t;
+  feasible : bool;
+  fom : float;
+  n_sims : int;
+}
+
+let evaluate ?(sizing_config = Sizing.default_config) ~rng ~spec topo =
+  let result = Sizing.optimize ~config:sizing_config ~rng ~spec topo in
+  match Sizing.best result with
+  | None -> None
+  | Some o ->
+    Some
+      {
+        topology = topo;
+        sizing = o.Sizing.sizing;
+        perf = o.Sizing.perf;
+        feasible = Perf.satisfies o.Sizing.perf spec;
+        fom = Perf.fom o.Sizing.perf ~cl_f:spec.Spec.cl_f;
+        n_sims = result.Sizing.n_sims;
+      }
+
+let sims_of_failed_evaluation ~sizing_config =
+  sizing_config.Sizing.n_init + sizing_config.Sizing.n_iter

@@ -1,0 +1,28 @@
+(** Topology evaluation: size a candidate topology with the inner BO and
+    report the resulting performance as the topology's observation.
+
+    The reported metrics belong to the best sizing found: the highest-FoM
+    feasible point when one exists, otherwise the minimum-violation point.
+    [n_sims] counts every circuit simulation spent, which is the cost unit
+    of all experiment tables. *)
+
+type evaluation = {
+  topology : Into_circuit.Topology.t;
+  sizing : float array;  (** physical parameter values of the chosen point *)
+  perf : Into_circuit.Perf.t;
+  feasible : bool;
+  fom : float;
+  n_sims : int;  (** simulations spent sizing this topology *)
+}
+
+val evaluate :
+  ?sizing_config:Sizing.config ->
+  rng:Into_util.Rng.t ->
+  spec:Into_circuit.Spec.t ->
+  Into_circuit.Topology.t ->
+  evaluation option
+(** [None] when every sizing attempt failed to simulate (the simulation
+    budget is still spent; callers should treat this as a dead topology). *)
+
+val sims_of_failed_evaluation : sizing_config:Sizing.config -> int
+(** Budget charged when {!evaluate} returns [None]. *)

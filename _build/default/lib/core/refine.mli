@@ -1,0 +1,45 @@
+(** Gradient-guided topology refinement (Section III-C, evaluated in IV-C).
+
+    Given a trusted design that misses some specification, the refinement
+    loop (1) picks the critical (most violated) metric, (2) uses the WL-GP
+    slot gradients to find the variable subcircuit that hurts that metric
+    the most, (3) replaces it with the most promising alternative type —
+    ranked by the surrogate's prediction for the modified topology — and
+    (4) resizes only the modified subcircuit's parameters with a small
+    sizing budget.  If the design still fails, the next-ranked alternative
+    is tried — first the remaining options of the worst slot, then the
+    best-predicted replacements in the other slots.  Untouched components
+    keep their sizes, preserving the reliability of the original design. *)
+
+type move = {
+  slot : Into_circuit.Topology.slot;
+  from_sub : Into_circuit.Subcircuit.t;
+  to_sub : Into_circuit.Subcircuit.t;
+  predicted_metric : float;  (** surrogate prediction that ranked this move *)
+  achieved : Into_circuit.Perf.t option;  (** simulated result of the move *)
+}
+
+type outcome = {
+  original_perf : Into_circuit.Perf.t;
+  critical_metric : string option;  (** [None] when already feasible *)
+  refined :
+    (Into_circuit.Topology.t * float array * Into_circuit.Perf.t) option;
+      (** successful refinement: topology, physical sizing, performance *)
+  moves : move list;  (** chronological *)
+  n_sims : int;
+}
+
+val refine :
+  ?max_moves:int ->
+  ?sizing_config:Sizing.config ->
+  models:(string * Into_gp.Wl_gp.t) list ->
+  rng:Into_util.Rng.t ->
+  spec:Into_circuit.Spec.t ->
+  sizing:float array ->
+  Into_circuit.Topology.t ->
+  outcome
+(** [max_moves] defaults to 5; [sizing_config] defaults to the paper's
+    40-simulation budget.  [models] are WL-GP surrogates as returned by
+    {!Topo_bo.run} / {!Topo_bo.fit_metric_models} for the same spec.
+    @raise Invalid_argument when the original design does not simulate or
+    a needed surrogate is missing. *)

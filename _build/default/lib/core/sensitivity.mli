@@ -1,0 +1,31 @@
+(** Remove-and-resimulate sensitivity analysis.
+
+    Section IV-B validates the WL-GP gradients against a direct experiment:
+    delete one variable subcircuit, keep every other component size, and
+    simulate again.  The change of each metric is the ground-truth
+    sensitivity the surrogate gradient is compared to. *)
+
+type delta = {
+  slot : Into_circuit.Topology.slot;
+  removed : Into_circuit.Subcircuit.t;
+  before : Into_circuit.Perf.t;
+  after : Into_circuit.Perf.t option;  (** [None]: simulation failed *)
+}
+
+val d_gain_db : delta -> float option
+val d_gbw_hz : delta -> float option
+val d_pm_deg : delta -> float option
+val d_power_w : delta -> float option
+
+val remove_slot :
+  Into_circuit.Topology.t ->
+  sizing:float array ->
+  Into_circuit.Topology.slot ->
+  (Into_circuit.Topology.t * float array) option
+(** The topology with that slot disconnected and the transferred sizing;
+    [None] when the slot is already unconnected. *)
+
+val analyze :
+  Into_circuit.Topology.t -> sizing:float array -> cl_f:float -> delta list
+(** One delta per connected variable slot.
+    @raise Invalid_argument when the baseline simulation itself fails. *)

@@ -1,0 +1,255 @@
+module Rng = Into_util.Rng
+module Params = Into_circuit.Params
+module Perf = Into_circuit.Perf
+module Spec = Into_circuit.Spec
+module Topology = Into_circuit.Topology
+module Gp = Into_gp.Gp
+module Rbf = Into_gp.Rbf
+
+type config = {
+  n_init : int;
+  n_iter : int;
+  n_candidates : int;
+  wei_w : float;
+  refit_every : int;
+}
+
+let default_config =
+  { n_init = 10; n_iter = 30; n_candidates = 60; wei_w = 0.5; refit_every = 5 }
+
+type outcome = { sizing : float array; perf : Perf.t }
+
+type result = {
+  best_feasible : outcome option;
+  best_any : outcome option;
+  n_sims : int;
+}
+
+let best r = match r.best_feasible with Some _ as b -> b | None -> r.best_any
+
+type observation = { point : float array; tmetrics : float array; tfom : float; perf : Perf.t }
+
+type state = {
+  cfg : config;
+  rng : Rng.t;
+  spec : Spec.t;
+  topo : Topology.t;
+  schema : Params.schema;
+  free_dims : int array;
+  base : float array;  (** values of the frozen coordinates *)
+  mutable obs : observation list;
+  mutable n_sims : int;
+  mutable best_feasible : (outcome * float) option;  (** with FoM *)
+  mutable best_any : (outcome * float) option;  (** with violation *)
+  mutable lengthscales : float array;  (** per GP: 4 metrics + objective *)
+  mutable noises : float array;
+}
+
+let n_models = List.length Objective.metrics + 1
+
+(* Fill the frozen coordinates of a candidate from the base point. *)
+let complete st u =
+  let full = Array.copy st.base in
+  Array.iteri (fun k d -> full.(d) <- u.(k)) st.free_dims;
+  full
+
+let clamp01 x = Float.max 0.0 (Float.min 1.0 x)
+
+let random_candidate st = Array.init (Array.length st.free_dims) (fun _ -> Rng.float st.rng)
+
+let local_candidate st center =
+  Array.map (fun x -> clamp01 (x +. (0.1 *. Rng.gaussian st.rng))) center
+
+let evaluate st u =
+  let full = complete st u in
+  let sizing = Params.denormalize st.schema full in
+  st.n_sims <- st.n_sims + 1;
+  match Perf.evaluate st.topo ~sizing ~cl_f:st.spec.Spec.cl_f with
+  | None -> None
+  | Some perf ->
+    let o = { sizing; perf } in
+    let fom = Perf.fom perf ~cl_f:st.spec.Spec.cl_f in
+    if Perf.satisfies perf st.spec then begin
+      match st.best_feasible with
+      | Some (_, best_fom) when best_fom >= fom -> ()
+      | Some _ | None -> st.best_feasible <- Some (o, fom)
+    end;
+    let viol = Perf.violation perf st.spec in
+    (match st.best_any with
+    | Some (_, best_viol) when best_viol <= viol -> ()
+    | Some _ | None -> st.best_any <- Some (o, viol));
+    let ob =
+      {
+        point = u;
+        tmetrics = Objective.metric_values perf;
+        tfom = Objective.penalized_fom_value perf st.spec ~cl_f:st.spec.Spec.cl_f;
+        perf;
+      }
+    in
+    st.obs <- ob :: st.obs;
+    Some ob
+
+let lengthscale_grid d = List.map (fun l -> l *. sqrt (float_of_int (max d 1))) [ 0.1; 0.25; 0.5; 1.0 ]
+let noise_grid = [ 1e-4; 1e-2 ]
+
+let targets st =
+  let obs = Array.of_list st.obs in
+  let ys =
+    Array.init n_models (fun m ->
+        if m < n_models - 1 then Array.map (fun o -> o.tmetrics.(m)) obs
+        else Array.map (fun o -> o.tfom) obs)
+  in
+  (Array.map (fun o -> o.point) obs, ys)
+
+(* Select (lengthscale, noise) per model by marginal likelihood. *)
+let refit_hyperparameters st =
+  let xs, ys = targets st in
+  let d = Array.length st.free_dims in
+  for m = 0 to n_models - 1 do
+    let best = ref None in
+    List.iter
+      (fun l ->
+        let gram = Rbf.gram ~lengthscale:l xs in
+        List.iter
+          (fun noise ->
+            match Gp.fit ~gram ~y:ys.(m) ~signal:1.0 ~noise with
+            | gp -> (
+              let lml = Gp.log_marginal_likelihood gp in
+              match !best with
+              | Some (_, _, best_lml) when best_lml >= lml -> ()
+              | Some _ | None -> best := Some (l, noise, lml))
+            | exception Into_linalg.Cholesky.Not_positive_definite -> ())
+          noise_grid)
+      (lengthscale_grid d);
+    match !best with
+    | Some (l, noise, _) ->
+      st.lengthscales.(m) <- l;
+      st.noises.(m) <- noise
+    | None -> ()
+  done
+
+let fit_models st =
+  let xs, ys = targets st in
+  let models =
+    Array.init n_models (fun m ->
+        let gram = Rbf.gram ~lengthscale:st.lengthscales.(m) xs in
+        match Gp.fit ~gram ~y:ys.(m) ~signal:1.0 ~noise:st.noises.(m) with
+        | gp -> Some gp
+        | exception Into_linalg.Cholesky.Not_positive_definite -> None)
+  in
+  (xs, models)
+
+let acquisition st (xs, models) best_tfom u =
+  let predict m =
+    match models.(m) with
+    | None -> None
+    | Some gp ->
+      let k_star = Rbf.cross ~lengthscale:st.lengthscales.(m) xs u in
+      Some (Gp.predict gp ~k_star ~k_self:1.0)
+  in
+  let feas =
+    List.mapi
+      (fun m (bound, sense) ->
+        match predict m with
+        | None -> 1.0
+        | Some (mean, var) ->
+          Acquisition.probability_feasible ~mean ~std:(sqrt var) ~bound ~sense)
+      (Objective.bounds st.spec)
+  in
+  match best_tfom with
+  | None -> Acquisition.feasibility_only feas
+  | Some best -> (
+    match predict (n_models - 1) with
+    | None -> Acquisition.feasibility_only feas
+    | Some (mean, var) ->
+      let ei = Acquisition.expected_improvement ~mean ~std:(sqrt var) ~best in
+      Acquisition.weighted_ei ~w:st.cfg.wei_w ~ei ~feasibility:feas)
+
+let bo_step st iter =
+  if iter mod st.cfg.refit_every = 0 || st.lengthscales.(0) = 0.0 then refit_hyperparameters st;
+  let fitted = fit_models st in
+  let best_tfom =
+    Option.map
+      (fun ((o : outcome), _) ->
+        Objective.penalized_fom_value o.perf st.spec ~cl_f:st.spec.Spec.cl_f)
+      st.best_feasible
+  in
+  let center =
+    match st.best_feasible with
+    | Some (o, _) ->
+      let full = Params.normalize st.schema o.sizing in
+      Some (Array.map (fun d -> full.(d)) st.free_dims)
+    | None -> (
+      match st.best_any with
+      | Some (o, _) ->
+        let full = Params.normalize st.schema o.sizing in
+        Some (Array.map (fun d -> full.(d)) st.free_dims)
+      | None -> None)
+  in
+  let n = st.cfg.n_candidates in
+  let candidate i =
+    match center with
+    | Some c when i mod 2 = 1 -> local_candidate st c
+    | Some _ | None -> random_candidate st
+  in
+  let best_u = ref None in
+  for i = 0 to n - 1 do
+    let u = candidate i in
+    let a = acquisition st fitted best_tfom u in
+    match !best_u with
+    | Some (_, best_a) when best_a >= a -> ()
+    | Some _ | None -> best_u := Some (u, a)
+  done;
+  match !best_u with
+  | Some (u, _) -> ignore (evaluate st u)
+  | None -> ()
+
+let optimize ?(config = default_config) ?start ?free_dims ~rng ~spec topo =
+  let schema = Params.schema topo in
+  let d = Params.dim schema in
+  let base =
+    match start with
+    | Some s ->
+      if Array.length s <> d then invalid_arg "Sizing.optimize: start dimension mismatch";
+      Array.map clamp01 s
+    | None -> Params.default_point schema
+  in
+  let free =
+    match free_dims with
+    | Some l ->
+      List.iter (fun i -> if i < 0 || i >= d then invalid_arg "Sizing.optimize: bad free dim") l;
+      Array.of_list (List.sort_uniq compare l)
+    | None -> Array.init d (fun i -> i)
+  in
+  let st =
+    {
+      cfg = config;
+      rng;
+      spec;
+      topo;
+      schema;
+      free_dims = free;
+      base;
+      obs = [];
+      n_sims = 0;
+      best_feasible = None;
+      best_any = None;
+      lengthscales = Array.make n_models 0.0;
+      noises = Array.make n_models 1e-2;
+    }
+  in
+  (* Initial design: the start point (when provided) plus random points. *)
+  if start <> None then ignore (evaluate st (Array.map (fun i -> base.(i)) free));
+  let n_random_init = config.n_init - if start = None then 0 else 1 in
+  for _ = 1 to max 0 n_random_init do
+    ignore (evaluate st (random_candidate st))
+  done;
+  for iter = 0 to config.n_iter - 1 do
+    if st.obs <> [] then bo_step st iter
+    else ignore (evaluate st (random_candidate st))
+  done;
+  {
+    best_feasible = Option.map fst st.best_feasible;
+    best_any = Option.map fst st.best_any;
+    n_sims = st.n_sims;
+  }

@@ -1,0 +1,46 @@
+(** Continuous parameter sizing of one topology via constrained Bayesian
+    optimization (the automated-sizing method [1] the paper relies on).
+
+    The optimizer works on the normalized cube [0,1]^d of the topology's
+    parameter schema: 10 random initial points, then 30 BO iterations with
+    one RBF-GP per constrained metric plus one for the FoM objective, and
+    the wEI acquisition maximized over a random + local candidate set.
+    Every circuit simulation (including failed ones) counts toward the
+    simulation budget reported by the experiments. *)
+
+type config = {
+  n_init : int;
+  n_iter : int;
+  n_candidates : int;  (** acquisition candidates per iteration *)
+  wei_w : float;
+  refit_every : int;  (** hyperparameter re-selection period *)
+}
+
+val default_config : config
+(** 10 init, 30 iterations, 60 candidates, w = 0.5, refit every 5. *)
+
+type outcome = { sizing : float array (** physical values *); perf : Into_circuit.Perf.t }
+
+type result = {
+  best_feasible : outcome option;  (** highest-FoM spec-satisfying point *)
+  best_any : outcome option;  (** minimum-constraint-violation point *)
+  n_sims : int;
+}
+
+val best : result -> outcome option
+(** [best_feasible] when present, otherwise [best_any]. *)
+
+val optimize :
+  ?config:config ->
+  ?start:float array ->
+  ?free_dims:int list ->
+  rng:Into_util.Rng.t ->
+  spec:Into_circuit.Spec.t ->
+  Into_circuit.Topology.t ->
+  result
+(** [optimize ~rng ~spec topo] sizes [topo] for [spec].
+
+    [start] (normalized) seeds the search and is evaluated first.
+    [free_dims] restricts the search to the given coordinates, keeping the
+    others fixed at [start] — this implements the "resize only the modified
+    circuit part" step of topology refinement. *)

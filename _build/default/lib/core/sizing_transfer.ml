@@ -1,0 +1,24 @@
+module Params = Into_circuit.Params
+
+let name_map schema sizing =
+  List.mapi (fun i p -> (p.Params.name, sizing.(i))) (Params.params schema)
+
+let transfer ~from_schema ~from_sizing ~to_schema =
+  if Array.length from_sizing <> Params.dim from_schema then
+    invalid_arg "Sizing_transfer.transfer: sizing dimension mismatch";
+  let values = name_map from_schema from_sizing in
+  let defaults = Params.denormalize to_schema (Params.default_point to_schema) in
+  Array.of_list
+    (List.mapi
+       (fun i p ->
+         match List.assoc_opt p.Params.name values with
+         | Some v -> v
+         | None -> defaults.(i))
+       (Params.params to_schema))
+
+let new_dims ~from_schema ~to_schema =
+  let old_names = List.map (fun p -> p.Params.name) (Params.params from_schema) in
+  List.concat
+    (List.mapi
+       (fun i p -> if List.mem p.Params.name old_names then [] else [ i ])
+       (Params.params to_schema))

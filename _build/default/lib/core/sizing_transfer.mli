@@ -1,0 +1,22 @@
+(** Carrying sizing values across topology edits.
+
+    When a subcircuit is removed or replaced, the remaining components keep
+    their sizes (that is what makes refinement cheap and trustworthy); any
+    parameter that only exists in the new topology starts at the mid-range
+    default and is the natural target of the "resize only the modified
+    part" step. *)
+
+val transfer :
+  from_schema:Into_circuit.Params.schema ->
+  from_sizing:float array ->
+  to_schema:Into_circuit.Params.schema ->
+  float array
+(** Physical sizing vector for [to_schema]: parameters are matched by name;
+    unmatched ones get the schema default. *)
+
+val new_dims :
+  from_schema:Into_circuit.Params.schema ->
+  to_schema:Into_circuit.Params.schema ->
+  int list
+(** Indices (in [to_schema]) of parameters that have no counterpart in
+    [from_schema]. *)

@@ -1,0 +1,255 @@
+module Rng = Into_util.Rng
+module Topology = Into_circuit.Topology
+module Spec = Into_circuit.Spec
+module Wl = Into_graph.Wl
+module Wl_gp = Into_gp.Wl_gp
+module Gp = Into_gp.Gp
+
+type config = {
+  n_init : int;
+  iterations : int;
+  pool : int;
+  strategy : Candidates.strategy;
+  wei_w : float;
+  n_best_seeds : int;
+  refit_every : int;
+  h_candidates : int list;
+  sizing : Sizing.config;
+}
+
+let default_config strategy =
+  {
+    n_init = 10;
+    iterations = 50;
+    pool = 200;
+    strategy;
+    wei_w = 0.5;
+    n_best_seeds = 5;
+    refit_every = 5;
+    h_candidates = Wl_gp.default_h_candidates;
+    sizing = Sizing.default_config;
+  }
+
+type step = {
+  iteration : int;
+  evaluation : Evaluator.evaluation option;
+  cumulative_sims : int;
+  best_fom_so_far : float option;
+}
+
+type result = {
+  steps : step list;
+  best : Evaluator.evaluation option;
+  models : (string * Wl_gp.t) list;
+  dict : Wl.dict;
+  total_sims : int;
+}
+
+let model_names = List.map (fun m -> m.Objective.name) Objective.metrics @ [ "fom" ]
+
+let model_targets ~spec (evals : Evaluator.evaluation list) =
+  let n_metrics = List.length Objective.metrics in
+  List.mapi
+    (fun m name ->
+      let y =
+        if m < n_metrics then
+          Array.of_list
+            (List.map (fun (e : Evaluator.evaluation) -> (Objective.metric_values e.perf).(m)) evals)
+        else
+          Array.of_list
+            (List.map
+               (fun (e : Evaluator.evaluation) ->
+                 Objective.penalized_fom_value e.perf spec ~cl_f:spec.Spec.cl_f)
+               evals)
+      in
+      (name, y))
+    model_names
+
+let fit_metric_models ~dict ~spec evals =
+  if List.length evals < 2 then []
+  else
+    let graphs =
+      Array.of_list
+        (List.map (fun (e : Evaluator.evaluation) -> Into_graph.Circuit_graph.build e.topology) evals)
+    in
+    List.map
+      (fun (name, y) -> (name, Wl_gp.fit ~dict ~graphs ~y ()))
+      (model_targets ~spec evals)
+
+type state = {
+  cfg : config;
+  rng : Rng.t;
+  spec : Spec.t;
+  dict : Wl.dict;
+  visited : (int, unit) Hashtbl.t;
+  mutable evals : Evaluator.evaluation list;  (** chronological *)
+  mutable steps : step list;  (** reverse chronological *)
+  mutable total_sims : int;
+  mutable best : (Evaluator.evaluation * float) option;
+  mutable hyper : (string * (int * float * float)) list;  (** per-model (h, noise, signal) *)
+}
+
+let record_step st ~iteration ~evaluation ~n_sims =
+  st.total_sims <- st.total_sims + n_sims;
+  (match evaluation with
+  | Some (e : Evaluator.evaluation) ->
+    st.evals <- st.evals @ [ e ];
+    if e.feasible then begin
+      match st.best with
+      | Some (_, f) when f >= e.fom -> ()
+      | Some _ | None -> st.best <- Some (e, e.fom)
+    end
+  | None -> ());
+  st.steps <-
+    {
+      iteration;
+      evaluation;
+      cumulative_sims = st.total_sims;
+      best_fom_so_far = Option.map snd st.best;
+    }
+    :: st.steps
+
+let evaluate_topology st ~iteration topo =
+  Hashtbl.replace st.visited (Topology.to_index topo) ();
+  match Evaluator.evaluate ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo with
+  | Some e -> record_step st ~iteration ~evaluation:(Some e) ~n_sims:e.n_sims
+  | None ->
+    let n_sims = Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing in
+    record_step st ~iteration ~evaluation:None ~n_sims
+
+let fit_models st ~full_search =
+  let graphs =
+    Array.of_list
+      (List.map (fun (e : Evaluator.evaluation) -> Into_graph.Circuit_graph.build e.topology) st.evals)
+  in
+  let fit (name, y) =
+    let full () =
+      Wl_gp.fit ~h_candidates:st.cfg.h_candidates ~dict:st.dict ~graphs ~y ()
+    in
+    let model =
+      if full_search then full ()
+      else
+        match List.assoc_opt name st.hyper with
+        | Some (h, noise, signal) ->
+          Wl_gp.fit ~h_candidates:[ h ] ~noise_candidates:[ noise ]
+            ~signal_candidates:[ signal ] ~dict:st.dict ~graphs ~y ()
+        | None -> full ()
+    in
+    st.hyper <-
+      (name, (Wl_gp.h model, Gp.noise (Wl_gp.gp model), Gp.signal (Wl_gp.gp model)))
+      :: List.remove_assoc name st.hyper;
+    (name, model)
+  in
+  List.map fit (model_targets ~spec:st.spec st.evals)
+
+(* Current best topologies used as mutation seeds: feasible designs ranked
+   by FoM, padded with low-violation infeasible ones. *)
+let best_seeds st =
+  let feasible, infeasible =
+    List.partition (fun (e : Evaluator.evaluation) -> e.feasible) st.evals
+  in
+  let by_fom =
+    List.sort
+      (fun (a : Evaluator.evaluation) (b : Evaluator.evaluation) -> compare b.fom a.fom)
+      feasible
+  in
+  let by_violation =
+    List.sort
+      (fun (a : Evaluator.evaluation) (b : Evaluator.evaluation) ->
+        compare
+          (Into_circuit.Perf.violation a.perf st.spec)
+          (Into_circuit.Perf.violation b.perf st.spec))
+      infeasible
+  in
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  List.map
+    (fun (e : Evaluator.evaluation) -> e.topology)
+    (take st.cfg.n_best_seeds (by_fom @ by_violation))
+
+let acquisition st models best_tfom topo =
+  let g = Into_graph.Circuit_graph.build topo in
+  let feas =
+    List.map2
+      (fun m (bound, sense) ->
+        let mean, var = Wl_gp.predict (List.assoc m.Objective.name models) g in
+        Acquisition.probability_feasible ~mean ~std:(sqrt var) ~bound ~sense)
+      Objective.metrics (Objective.bounds st.spec)
+  in
+  match best_tfom with
+  | None -> Acquisition.feasibility_only feas
+  | Some best ->
+    let mean, var = Wl_gp.predict (List.assoc "fom" models) g in
+    let ei = Acquisition.expected_improvement ~mean ~std:(sqrt var) ~best in
+    Acquisition.weighted_ei ~w:st.cfg.wei_w ~ei ~feasibility:feas
+
+let bo_iteration st ~iteration =
+  let candidates =
+    Candidates.generate ~rng:st.rng ~strategy:st.cfg.strategy ~pool:st.cfg.pool
+      ~best:(best_seeds st)
+      ~visited:(fun t -> Hashtbl.mem st.visited (Topology.to_index t))
+  in
+  match candidates with
+  | [] -> ()
+  | first :: _ ->
+    if List.length st.evals < 2 then evaluate_topology st ~iteration first
+    else begin
+      let full_search = iteration mod st.cfg.refit_every = 1 || st.hyper = [] in
+      let models = fit_models st ~full_search in
+      let best_tfom =
+        Option.map
+          (fun ((e : Evaluator.evaluation), _) ->
+            Objective.penalized_fom_value e.perf st.spec ~cl_f:st.spec.Spec.cl_f)
+          st.best
+      in
+      let scored =
+        List.map (fun t -> (t, acquisition st models best_tfom t)) candidates
+      in
+      let chosen, _ =
+        List.fold_left
+          (fun (bt, ba) (t, a) -> if a > ba then (t, a) else (bt, ba))
+          (first, Float.neg_infinity) scored
+      in
+      evaluate_topology st ~iteration chosen
+    end
+
+let run ?config ~rng ~spec () =
+  let cfg = match config with Some c -> c | None -> default_config Candidates.Mixed in
+  let st =
+    {
+      cfg;
+      rng;
+      spec;
+      dict = Wl.create_dict ();
+      visited = Hashtbl.create 256;
+      evals = [];
+      steps = [];
+      total_sims = 0;
+      best = None;
+      hyper = [];
+    }
+  in
+  (* Line 1 of Algorithm 1: random initial dataset. *)
+  let init = ref 0 in
+  let guard = ref 0 in
+  while !init < cfg.n_init && !guard < 100 * cfg.n_init do
+    incr guard;
+    let t = Topology.random st.rng in
+    if not (Hashtbl.mem st.visited (Topology.to_index t)) then begin
+      incr init;
+      evaluate_topology st ~iteration:0 t
+    end
+  done;
+  for iteration = 1 to cfg.iterations do
+    bo_iteration st ~iteration
+  done;
+  let models = fit_metric_models ~dict:st.dict ~spec st.evals in
+  {
+    steps = List.rev st.steps;
+    best = Option.map fst st.best;
+    models;
+    dict = st.dict;
+    total_sims = st.total_sims;
+  }

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Curves Hashtbl Into_circuit Into_core Into_util List Methods Option Printf

@@ -1,0 +1,1 @@
+lib/experiments/ablation.mli: Into_circuit Into_core Methods

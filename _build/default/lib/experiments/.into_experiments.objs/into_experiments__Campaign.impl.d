@@ -1,0 +1,1 @@
+lib/experiments/campaign.ml: Curves Float Hashtbl Int64 Into_circuit Into_core Into_util List Methods Option Printf String

@@ -1,0 +1,1 @@
+lib/experiments/campaign.mli: Into_circuit Into_core Methods

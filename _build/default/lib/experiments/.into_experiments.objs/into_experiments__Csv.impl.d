@@ -1,0 +1,1 @@
+lib/experiments/csv.ml: Campaign Fun Into_circuit Into_core List Methods Printf String

@@ -1,0 +1,1 @@
+lib/experiments/curves.ml: Into_core Into_util List

@@ -1,0 +1,1 @@
+lib/experiments/interpret_exp.ml: Into_circuit Into_core List Option

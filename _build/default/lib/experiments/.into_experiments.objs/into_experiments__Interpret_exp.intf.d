@@ -1,0 +1,1 @@
+lib/experiments/interpret_exp.mli: Into_circuit Into_core Into_gp

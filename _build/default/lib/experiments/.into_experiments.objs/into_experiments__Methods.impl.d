@@ -1,0 +1,1 @@
+lib/experiments/methods.ml: Into_baselines Into_core Sys

@@ -1,0 +1,1 @@
+lib/experiments/methods.mli: Into_circuit Into_core Into_util

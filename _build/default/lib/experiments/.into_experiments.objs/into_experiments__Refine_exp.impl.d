@@ -1,0 +1,1 @@
+lib/experiments/refine_exp.ml: Into_circuit Into_core Methods Seeds

@@ -1,0 +1,1 @@
+lib/experiments/refine_exp.mli: Into_circuit Into_core Into_gp Into_util Methods

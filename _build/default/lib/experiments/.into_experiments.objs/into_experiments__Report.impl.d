@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Campaign Interpret_exp Into_circuit Into_core Into_util List Methods Option Printf Refine_exp String Tlevel_exp

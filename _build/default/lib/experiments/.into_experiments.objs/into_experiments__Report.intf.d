@@ -1,0 +1,1 @@
+lib/experiments/report.mli: Campaign Interpret_exp Into_circuit Methods Refine_exp Tlevel_exp

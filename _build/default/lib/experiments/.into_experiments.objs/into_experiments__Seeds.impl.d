@@ -1,0 +1,1 @@
+lib/experiments/seeds.ml: Into_circuit

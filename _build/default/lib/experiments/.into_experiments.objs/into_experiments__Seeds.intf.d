@@ -1,0 +1,1 @@
+lib/experiments/seeds.mli: Into_circuit

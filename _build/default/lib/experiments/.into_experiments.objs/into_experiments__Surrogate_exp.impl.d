@@ -1,0 +1,1 @@
+lib/experiments/surrogate_exp.ml: Array Hashtbl Into_baselines Into_circuit Into_core Into_gp Into_graph Into_linalg Into_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/surrogate_exp.mli: Into_circuit Into_core

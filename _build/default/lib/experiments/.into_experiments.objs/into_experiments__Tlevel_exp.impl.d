@@ -1,0 +1,1 @@
+lib/experiments/tlevel_exp.ml: Campaign Into_circuit Into_core Into_transistor List Methods Refine_exp String

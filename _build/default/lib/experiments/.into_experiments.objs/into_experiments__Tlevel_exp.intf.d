@@ -1,0 +1,1 @@
+lib/experiments/tlevel_exp.mli: Campaign Into_circuit Into_transistor Methods Refine_exp

@@ -1,0 +1,97 @@
+module Topo_bo = Into_core.Topo_bo
+module Candidates = Into_core.Candidates
+module Evaluator = Into_core.Evaluator
+module Spec = Into_circuit.Spec
+
+type row = {
+  name : string;
+  successes : int;
+  runs : int;
+  mean_fom : float option;
+  mean_sims_to_best : float option;
+}
+
+let base_config scale =
+  {
+    (Topo_bo.default_config Candidates.Mixed) with
+    Topo_bo.n_init = scale.Methods.n_init;
+    iterations = scale.Methods.iterations;
+    pool = scale.Methods.pool;
+    sizing =
+      {
+        Into_core.Sizing.default_config with
+        Into_core.Sizing.n_init = scale.Methods.sizing_init;
+        n_iter = scale.Methods.sizing_iters;
+      };
+  }
+
+let variants scale =
+  let base = base_config scale in
+  [
+    ("INTO-OA (baseline)", base);
+    ("h = 0 (labels only)", { base with Topo_bo.h_candidates = [ 0 ] });
+    ("h = 3 (fixed deep)", { base with Topo_bo.h_candidates = [ 3 ] });
+    ("wEI w = 0.1 (feasibility-led)", { base with Topo_bo.wei_w = 0.1 });
+    ("wEI w = 0.9 (objective-led)", { base with Topo_bo.wei_w = 0.9 });
+    ("pool = 20", { base with Topo_bo.pool = 20 });
+  ]
+
+let sims_to_best steps =
+  (* Budget at which the eventually-best FoM first appeared. *)
+  let final =
+    List.fold_left
+      (fun acc (s : Topo_bo.step) ->
+        match s.Topo_bo.best_fom_so_far with Some f -> Some f | None -> acc)
+      None steps
+  in
+  Option.bind final (fun f -> Curves.sims_to_reach steps ~target:f)
+
+let run ?(progress = fun _ -> ()) ~spec ~scale ~seed () =
+  List.map
+    (fun (name, config) ->
+      let outcomes =
+        List.init scale.Methods.runs (fun run_index ->
+            progress (Printf.sprintf "ablation %s / run %d" name (run_index + 1));
+            let rng =
+              Into_util.Rng.create ~seed:(Hashtbl.hash (seed, name, run_index))
+            in
+            Topo_bo.run ~config ~rng ~spec ())
+      in
+      let best_foms =
+        List.filter_map
+          (fun (r : Topo_bo.result) ->
+            Option.map (fun (e : Evaluator.evaluation) -> e.Evaluator.fom) r.Topo_bo.best)
+          outcomes
+      in
+      let sims =
+        List.filter_map (fun (r : Topo_bo.result) -> sims_to_best r.Topo_bo.steps) outcomes
+      in
+      {
+        name;
+        successes = List.length best_foms;
+        runs = scale.Methods.runs;
+        mean_fom =
+          (match best_foms with [] -> None | l -> Some (Into_util.Stats.mean l));
+        mean_sims_to_best =
+          (match sims with
+          | [] -> None
+          | l -> Some (Into_util.Stats.mean (List.map float_of_int l)));
+      })
+    (variants scale)
+
+let report spec rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.name;
+          Printf.sprintf "%d/%d" r.successes r.runs;
+          (match r.mean_fom with Some f -> Printf.sprintf "%.1f" f | None -> "-");
+          (match r.mean_sims_to_best with Some s -> Printf.sprintf "%.0f" s | None -> "-");
+        ])
+      rows
+  in
+  Printf.sprintf "Ablation study on %s\n%s" spec.Spec.name
+    (Into_util.Table.render
+       ~header:[ "Variant"; "Suc. Rate"; "Final FoM"; "# Sim. to best" ]
+       body)

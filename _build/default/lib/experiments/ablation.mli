@@ -1,0 +1,29 @@
+(** Ablation study over INTO-OA's design choices (DESIGN.md, E8b).
+
+    Beyond the paper's candidate-generation ablations (INTO-OA-r / -m,
+    covered by the main campaign), this isolates:
+    - the WL iteration depth: [h = 0] restricts the kernel to bag-of-labels
+      features (no wiring information), against the MLE-selected depth;
+    - the wEI exploration weight [w];
+    - the candidate pool size.                                              *)
+
+type row = {
+  name : string;
+  successes : int;
+  runs : int;
+  mean_fom : float option;  (** over successful runs *)
+  mean_sims_to_best : float option;
+      (** budget spent when the final best design was first found *)
+}
+
+val variants : Methods.scale -> (string * Into_core.Topo_bo.config) list
+
+val run :
+  ?progress:(string -> unit) ->
+  spec:Into_circuit.Spec.t ->
+  scale:Methods.scale ->
+  seed:int ->
+  unit ->
+  row list
+
+val report : Into_circuit.Spec.t -> row list -> string

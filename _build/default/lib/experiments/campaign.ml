@@ -1,0 +1,146 @@
+module Spec = Into_circuit.Spec
+module Evaluator = Into_core.Evaluator
+
+type run = {
+  method_id : Methods.id;
+  spec : Spec.t;
+  run_index : int;
+  trace : Methods.trace;
+}
+
+type t = run list
+
+(* Deterministic per-run seed: mixing through SplitMix keeps seeds of
+   neighbouring runs statistically independent. *)
+let run_seed ~seed ~method_id ~spec_name ~run_index =
+  let h = Hashtbl.hash (seed, Methods.name method_id, spec_name, run_index) in
+  let g = Into_util.Splitmix.create h in
+  Int64.to_int (Into_util.Splitmix.next_int64 g) land max_int
+
+let execute ?(progress = fun _ -> ()) ?(methods = Methods.all) ?(specs = Spec.all) ~scale
+    ~seed () =
+  List.concat_map
+    (fun spec ->
+      List.concat_map
+        (fun method_id ->
+          List.init scale.Methods.runs (fun run_index ->
+              progress
+                (Printf.sprintf "%s / %s / run %d" spec.Spec.name
+                   (Methods.name method_id) (run_index + 1));
+              let rng =
+                Into_util.Rng.create
+                  ~seed:(run_seed ~seed ~method_id ~spec_name:spec.Spec.name ~run_index)
+              in
+              { method_id; spec; run_index; trace = Methods.run method_id ~scale ~rng ~spec }))
+        methods)
+    specs
+
+let runs_of t method_id spec =
+  List.filter
+    (fun r -> r.method_id = method_id && String.equal r.spec.Spec.name spec.Spec.name)
+    t
+
+let methods_present t spec =
+  List.filter (fun m -> runs_of t m spec <> []) Methods.all
+
+let successful_runs runs =
+  List.filter (fun r -> Option.is_some r.trace.Methods.best) runs
+
+let final_foms runs =
+  List.filter_map
+    (fun r -> Option.map (fun (e : Evaluator.evaluation) -> e.fom) r.trace.Methods.best)
+    runs
+
+let reference_fom t spec =
+  let means =
+    List.filter_map
+      (fun m ->
+        match final_foms (runs_of t m spec) with
+        | [] -> None
+        | foms -> Some (Into_util.Stats.mean foms))
+      (methods_present t spec)
+  in
+  match means with [] -> None | x :: rest -> Some (List.fold_left Float.min x rest)
+
+type row = {
+  method_name : string;
+  success_rate : int * int;
+  final_fom : float option;
+  sims_to_ref : float option;
+  speedup : float option;
+}
+
+let sims_to_ref_of_runs runs ~target =
+  let hits =
+    List.filter_map
+      (fun r -> Curves.sims_to_reach r.trace.Methods.steps ~target)
+      runs
+  in
+  match hits with
+  | [] -> None
+  | _ -> Some (Into_util.Stats.mean (List.map float_of_int hits))
+
+let table2 t spec =
+  let reference = reference_fom t spec in
+  let base_rows =
+    List.map
+      (fun m ->
+        let runs = runs_of t m spec in
+        let succ = successful_runs runs in
+        let final =
+          match final_foms runs with [] -> None | foms -> Some (Into_util.Stats.mean foms)
+        in
+        let sims =
+          Option.bind reference (fun target -> sims_to_ref_of_runs runs ~target)
+        in
+        ( m,
+          {
+            method_name = Methods.name m;
+            success_rate = (List.length succ, List.length runs);
+            final_fom = final;
+            sims_to_ref = sims;
+            speedup = None;
+          } ))
+      (methods_present t spec)
+  in
+  let slowest =
+    List.fold_left
+      (fun acc (_, row) ->
+        match row.sims_to_ref with
+        | Some s -> Float.max acc s
+        | None -> acc)
+      0.0 base_rows
+  in
+  List.map
+    (fun (_, row) ->
+      let speedup =
+        match row.sims_to_ref with
+        | Some s when s > 0.0 && slowest > 0.0 -> Some (slowest /. s)
+        | Some _ | None -> None
+      in
+      { row with speedup })
+    base_rows
+
+let best_evaluation t method_id spec =
+  List.fold_left
+    (fun acc r ->
+      match (acc, r.trace.Methods.best) with
+      | None, b -> b
+      | Some (a : Evaluator.evaluation), Some (b : Evaluator.evaluation) ->
+        Some (if b.fom > a.fom then b else a)
+      | Some _, None -> acc)
+    None (runs_of t method_id spec)
+
+let fig5_series t spec ~grid_step =
+  let max_sims =
+    List.fold_left
+      (fun acc r -> max acc r.trace.Methods.total_sims)
+      grid_step
+      (List.filter (fun r -> String.equal r.spec.Spec.name spec.Spec.name) t)
+  in
+  let grid = Curves.sample_grid ~step:grid_step ~max_sims in
+  List.map
+    (fun m ->
+      let steps = List.map (fun r -> r.trace.Methods.steps) (runs_of t m spec) in
+      (Methods.name m, Curves.mean_curve steps ~grid))
+    (methods_present t spec)

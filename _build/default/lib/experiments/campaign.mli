@@ -1,0 +1,48 @@
+(** The Section IV-A optimization campaign: every method on every spec for
+    several seeded runs, with the aggregations behind Fig. 5, Table II and
+    Table III. *)
+
+type run = {
+  method_id : Methods.id;
+  spec : Into_circuit.Spec.t;
+  run_index : int;
+  trace : Methods.trace;
+}
+
+type t = run list
+
+val execute :
+  ?progress:(string -> unit) ->
+  ?methods:Methods.id list ->
+  ?specs:Into_circuit.Spec.t list ->
+  scale:Methods.scale ->
+  seed:int ->
+  unit ->
+  t
+(** Runs are seeded as [hash (seed, method, spec, run_index)], so any subset
+    reproduces the corresponding full-campaign results. *)
+
+val runs_of : t -> Methods.id -> Into_circuit.Spec.t -> run list
+
+type row = {
+  method_name : string;
+  success_rate : int * int;  (** successes, runs *)
+  final_fom : float option;  (** mean over successful runs *)
+  sims_to_ref : float option;  (** mean #sims to the reference FoM *)
+  speedup : float option;  (** slowest method's sims / this method's sims *)
+}
+
+val reference_fom : t -> Into_circuit.Spec.t -> float option
+(** The dashed line of Fig. 5: the worst successful method's mean final
+    FoM, i.e. a level every method is asked to reach. *)
+
+val table2 : t -> Into_circuit.Spec.t -> row list
+(** Table II block for one spec (methods in canonical order). *)
+
+val best_evaluation :
+  t -> Methods.id -> Into_circuit.Spec.t -> Into_core.Evaluator.evaluation option
+(** Highest-FoM feasible design across all runs — the Table III entry. *)
+
+val fig5_series :
+  t -> Into_circuit.Spec.t -> grid_step:int -> (string * (int * float * int) list) list
+(** Mean optimization curve per method (see {!Curves.mean_curve}). *)

@@ -1,0 +1,83 @@
+module Spec = Into_circuit.Spec
+module Perf = Into_circuit.Perf
+module Evaluator = Into_core.Evaluator
+
+let escape field =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') field
+  in
+  if needs_quoting then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let of_rows ~header rows =
+  String.concat "\n"
+    (List.map (fun row -> String.concat "," (List.map escape row)) (header :: rows))
+  ^ "\n"
+
+let campaign_runs campaign =
+  let row (r : Campaign.run) =
+    let base =
+      [
+        r.Campaign.spec.Spec.name;
+        Methods.name r.Campaign.method_id;
+        string_of_int r.Campaign.run_index;
+        string_of_int r.Campaign.trace.Methods.total_sims;
+      ]
+    in
+    match r.Campaign.trace.Methods.best with
+    | None -> base @ [ "0"; ""; ""; ""; ""; ""; "" ]
+    | Some (e : Evaluator.evaluation) ->
+      base
+      @ [
+          "1";
+          Printf.sprintf "%.6g" e.Evaluator.fom;
+          Printf.sprintf "%.6g" e.Evaluator.perf.Perf.gain_db;
+          Printf.sprintf "%.6g" e.Evaluator.perf.Perf.gbw_hz;
+          Printf.sprintf "%.6g" e.Evaluator.perf.Perf.pm_deg;
+          Printf.sprintf "%.6g" e.Evaluator.perf.Perf.power_w;
+          Into_circuit.Topology.to_string e.Evaluator.topology;
+        ]
+  in
+  of_rows
+    ~header:
+      [
+        "spec"; "method"; "run"; "total_sims"; "success"; "fom"; "gain_db"; "gbw_hz";
+        "pm_deg"; "power_w"; "topology";
+      ]
+    (List.map row campaign)
+
+let campaign_table2 campaign =
+  let rows =
+    List.concat_map
+      (fun spec ->
+        List.map
+          (fun (r : Campaign.row) ->
+            let succ, total = r.Campaign.success_rate in
+            [
+              spec.Spec.name;
+              r.Campaign.method_name;
+              string_of_int succ;
+              string_of_int total;
+              (match r.Campaign.final_fom with
+              | Some f -> Printf.sprintf "%.6g" f
+              | None -> "");
+              (match r.Campaign.sims_to_ref with
+              | Some s -> Printf.sprintf "%.1f" s
+              | None -> "");
+              (match r.Campaign.speedup with
+              | Some s -> Printf.sprintf "%.3g" s
+              | None -> "");
+            ])
+          (Campaign.table2 campaign spec))
+      Spec.all
+  in
+  of_rows
+    ~header:[ "spec"; "method"; "successes"; "runs"; "final_fom"; "sims_to_ref"; "speedup" ]
+    rows
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,19 @@
+(** CSV export of experiment artifacts, so campaign results can be
+    post-processed outside OCaml (plots, spreadsheets, regression
+    tracking). *)
+
+val escape : string -> string
+(** RFC-4180 quoting of a single field. *)
+
+val of_rows : header:string list -> string list list -> string
+(** CSV text with CRLF-free line endings (plain [\n]). *)
+
+val campaign_runs : Campaign.t -> string
+(** One row per (spec, method, run): success, FoM and metric breakdown of
+    the run's best design, total simulations. *)
+
+val campaign_table2 : Campaign.t -> string
+(** The Table II aggregation in CSV form. *)
+
+val write_file : path:string -> string -> unit
+(** @raise Sys_error on filesystem failures. *)

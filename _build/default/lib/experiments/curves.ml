@@ -1,0 +1,33 @@
+module Topo_bo = Into_core.Topo_bo
+
+let best_fom_at steps ~sims =
+  List.fold_left
+    (fun acc (s : Topo_bo.step) ->
+      if s.cumulative_sims <= sims then
+        match s.best_fom_so_far with Some _ as b -> b | None -> acc
+      else acc)
+    None steps
+
+let sims_to_reach steps ~target =
+  List.fold_left
+    (fun acc (s : Topo_bo.step) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match s.best_fom_so_far with
+        | Some f when f >= target -> Some s.cumulative_sims
+        | Some _ | None -> None))
+    None steps
+
+let sample_grid ~step ~max_sims =
+  if step <= 0 then invalid_arg "Curves.sample_grid: non-positive step";
+  let rec go acc s = if s > max_sims then List.rev acc else go (s :: acc) (s + step) in
+  go [] step
+
+let mean_curve runs ~grid =
+  List.map
+    (fun sims ->
+      let foms = List.filter_map (fun steps -> best_fom_at steps ~sims) runs in
+      let n = List.length foms in
+      (sims, (if n = 0 then 0.0 else Into_util.Stats.mean foms), n))
+    grid

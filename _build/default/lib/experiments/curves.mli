@@ -1,0 +1,20 @@
+(** Optimization-curve bookkeeping for Fig. 5 and the "# Sim." column of
+    Table II: best-feasible-FoM-so-far as a function of spent circuit
+    simulations. *)
+
+val best_fom_at : Into_core.Topo_bo.step list -> sims:int -> float option
+(** Best feasible FoM once [sims] simulations have been spent ([None] when
+    no feasible design was found within that budget). *)
+
+val sims_to_reach : Into_core.Topo_bo.step list -> target:float -> int option
+(** Cumulative simulations when the best feasible FoM first reached
+    [target]. *)
+
+val sample_grid : step:int -> max_sims:int -> int list
+(** [step; 2*step; ...; <= max_sims]. *)
+
+val mean_curve :
+  Into_core.Topo_bo.step list list -> grid:int list -> (int * float * int) list
+(** Average curve over several runs: for every grid point, (sims, mean best
+    FoM over the runs that already found a feasible design, number of such
+    runs).  Runs without a feasible design contribute to the count only. *)

@@ -1,0 +1,73 @@
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+module Evaluator = Into_core.Evaluator
+module Attribution = Into_core.Attribution
+module Sensitivity = Into_core.Sensitivity
+
+type slot_row = {
+  slot : Topology.slot;
+  subcircuit : Subcircuit.t;
+  gbw_gradient : float;
+  pm_gradient : float;
+  d_gbw_hz : float option;
+  d_pm_deg : float option;
+}
+
+type report = {
+  design : Evaluator.evaluation;
+  rows : slot_row list;
+  agreements : int;
+  comparisons : int;
+}
+
+let model_of models name =
+  match List.assoc_opt name models with
+  | Some m -> m
+  | None -> invalid_arg ("Interpret_exp.analyze: missing surrogate for " ^ name)
+
+let gradient_of reports slot =
+  match List.find_opt (fun (r : Attribution.slot_report) -> r.slot = slot) reports with
+  | Some r -> r.gradient
+  | None -> 0.0
+
+(* A gradient and a removal delta agree when the structure's predicted
+   direction of influence matches the measured loss: positive gradient
+   (structure helps) should pair with a negative delta on removal. *)
+let signs_agree gradient delta =
+  (gradient >= 0.0 && delta <= 0.0) || (gradient <= 0.0 && delta >= 0.0)
+
+let analyze ~models ~spec ~(design : Evaluator.evaluation) =
+  let topo = design.Evaluator.topology in
+  let gbw_reports = Attribution.slot_gradients (model_of models "gbw") topo in
+  let pm_reports = Attribution.slot_gradients (model_of models "pm") topo in
+  let deltas =
+    Sensitivity.analyze topo ~sizing:design.Evaluator.sizing
+      ~cl_f:spec.Into_circuit.Spec.cl_f
+  in
+  let rows =
+    List.map
+      (fun (d : Sensitivity.delta) ->
+        {
+          slot = d.Sensitivity.slot;
+          subcircuit = d.Sensitivity.removed;
+          gbw_gradient = gradient_of gbw_reports d.Sensitivity.slot;
+          pm_gradient = gradient_of pm_reports d.Sensitivity.slot;
+          d_gbw_hz = Sensitivity.d_gbw_hz d;
+          d_pm_deg = Sensitivity.d_pm_deg d;
+        })
+      deltas
+  in
+  let agreements, comparisons =
+    List.fold_left
+      (fun (agree, total) row ->
+        let pairs =
+          List.filter_map
+            (fun (g, d) -> Option.map (fun delta -> (g, delta)) d)
+            [ (row.gbw_gradient, row.d_gbw_hz); (row.pm_gradient, row.d_pm_deg) ]
+        in
+        List.fold_left
+          (fun (a, t) (g, delta) -> ((if signs_agree g delta then a + 1 else a), t + 1))
+          (agree, total) pairs)
+      (0, 0) rows
+  in
+  { design; rows; agreements; comparisons }

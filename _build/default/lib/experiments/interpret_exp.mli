@@ -1,0 +1,33 @@
+(** The Section IV-B experiment: do the WL-GP gradients agree with
+    remove-and-resimulate sensitivity analysis on the best design?
+
+    For every connected variable slot of the studied design, the report
+    pairs the surrogate gradient of each metric model with the measured
+    metric change when the subcircuit is deleted.  Agreement means the
+    gradient sign matches the sign of the performance *loss* caused by
+    removal (a structure with positive gradient should cost performance
+    when removed). *)
+
+type slot_row = {
+  slot : Into_circuit.Topology.slot;
+  subcircuit : Into_circuit.Subcircuit.t;
+  gbw_gradient : float;
+  pm_gradient : float;
+  d_gbw_hz : float option;  (** measured GBW change on removal *)
+  d_pm_deg : float option;  (** measured PM change on removal *)
+}
+
+type report = {
+  design : Into_core.Evaluator.evaluation;
+  rows : slot_row list;
+  agreements : int;  (** gradient/sensitivity sign agreements *)
+  comparisons : int;  (** sign pairs compared *)
+}
+
+val analyze :
+  models:(string * Into_gp.Wl_gp.t) list ->
+  spec:Into_circuit.Spec.t ->
+  design:Into_core.Evaluator.evaluation ->
+  report
+(** @raise Invalid_argument when the gbw/pm surrogates are missing or the
+    design does not simulate. *)

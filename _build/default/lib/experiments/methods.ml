@@ -1,0 +1,104 @@
+module Topo_bo = Into_core.Topo_bo
+module Sizing = Into_core.Sizing
+module Candidates = Into_core.Candidates
+
+type id = Fe_ga | Vgae_bo | Into_oa_r | Into_oa_m | Into_oa
+
+let all = [ Fe_ga; Vgae_bo; Into_oa_r; Into_oa_m; Into_oa ]
+
+let name = function
+  | Fe_ga -> "FE-GA"
+  | Vgae_bo -> "VGAE-BO"
+  | Into_oa_r -> "INTO-OA-r"
+  | Into_oa_m -> "INTO-OA-m"
+  | Into_oa -> "INTO-OA"
+
+type scale = {
+  runs : int;
+  n_init : int;
+  iterations : int;
+  pool : int;
+  sizing_init : int;
+  sizing_iters : int;
+}
+
+let paper_scale =
+  { runs = 10; n_init = 10; iterations = 50; pool = 200; sizing_init = 10; sizing_iters = 30 }
+
+let env_int key default =
+  match Sys.getenv_opt key with
+  | None -> default
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | Some _ | None -> default)
+
+let scale_of_env () =
+  if Sys.getenv_opt "INTO_OA_FULL" = Some "1" then paper_scale
+  else
+    {
+      runs = env_int "INTO_OA_RUNS" 3;
+      n_init = 10;
+      iterations = env_int "INTO_OA_ITERS" 25;
+      pool = env_int "INTO_OA_POOL" 100;
+      sizing_init = 10;
+      sizing_iters = env_int "INTO_OA_SIZING_ITERS" 30;
+    }
+
+type trace = {
+  steps : Topo_bo.step list;
+  best : Into_core.Evaluator.evaluation option;
+  total_sims : int;
+}
+
+let sizing_config scale =
+  { Sizing.default_config with Sizing.n_init = scale.sizing_init; n_iter = scale.sizing_iters }
+
+let bo_config scale strategy =
+  {
+    (Topo_bo.default_config strategy) with
+    Topo_bo.n_init = scale.n_init;
+    iterations = scale.iterations;
+    pool = scale.pool;
+    sizing = sizing_config scale;
+  }
+
+let run id ~scale ~rng ~spec =
+  match id with
+  | Fe_ga ->
+    let config =
+      {
+        Into_baselines.Fe_ga.default_config with
+        Into_baselines.Fe_ga.population = scale.n_init;
+        iterations = scale.iterations;
+        sizing = sizing_config scale;
+      }
+    in
+    let r = Into_baselines.Fe_ga.run ~config ~rng ~spec () in
+    {
+      steps = r.Into_baselines.Fe_ga.steps;
+      best = r.Into_baselines.Fe_ga.best;
+      total_sims = r.Into_baselines.Fe_ga.total_sims;
+    }
+  | Vgae_bo ->
+    let config =
+      {
+        Into_baselines.Vgae_bo.default_config with
+        Into_baselines.Vgae_bo.n_init = scale.n_init;
+        iterations = scale.iterations;
+        pool = scale.pool;
+        sizing = sizing_config scale;
+      }
+    in
+    let r = Into_baselines.Vgae_bo.run ~config ~rng ~spec () in
+    {
+      steps = r.Into_baselines.Vgae_bo.steps;
+      best = r.Into_baselines.Vgae_bo.best;
+      total_sims = r.Into_baselines.Vgae_bo.total_sims;
+    }
+  | Into_oa_r | Into_oa_m | Into_oa ->
+    let strategy =
+      match id with
+      | Into_oa_r -> Candidates.Random_only
+      | Into_oa_m -> Candidates.Mutation_only
+      | Fe_ga | Vgae_bo | Into_oa -> Candidates.Mixed
+    in
+    let r = Topo_bo.run ~config:(bo_config scale strategy) ~rng ~spec () in
+    { steps = r.Topo_bo.steps; best = r.Topo_bo.best; total_sims = r.Topo_bo.total_sims }

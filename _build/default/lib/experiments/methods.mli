@@ -1,0 +1,37 @@
+(** The five topology-optimization methods compared in Section IV-A, behind
+    one interface: FE-GA, VGAE-BO, INTO-OA-r (random candidates only),
+    INTO-OA-m (mutation only) and full INTO-OA. *)
+
+type id = Fe_ga | Vgae_bo | Into_oa_r | Into_oa_m | Into_oa
+
+val all : id list
+(** In the row order of Table II. *)
+
+val name : id -> string
+
+type scale = {
+  runs : int;  (** repetitions per (method, spec) *)
+  n_init : int;  (** initial topologies *)
+  iterations : int;  (** search iterations *)
+  pool : int;  (** candidate pool / acquisition samples *)
+  sizing_init : int;
+  sizing_iters : int;
+}
+
+val paper_scale : scale
+(** 10 runs, 10 init, 50 iterations, pool 200, sizing 10+30 — the setup of
+    the paper. *)
+
+val scale_of_env : unit -> scale
+(** [paper_scale] overridden by the [INTO_OA_RUNS], [INTO_OA_ITERS],
+    [INTO_OA_POOL], [INTO_OA_SIZING_ITERS] environment variables;
+    [INTO_OA_FULL=1] forces the paper scale. Defaults to a reduced
+    3-run / 25-iteration setting so the bench harness finishes quickly. *)
+
+type trace = {
+  steps : Into_core.Topo_bo.step list;
+  best : Into_core.Evaluator.evaluation option;
+  total_sims : int;
+}
+
+val run : id -> scale:scale -> rng:Into_util.Rng.t -> spec:Into_circuit.Spec.t -> trace

@@ -1,0 +1,168 @@
+module Spec = Into_circuit.Spec
+module Perf = Into_circuit.Perf
+module Table = Into_util.Table
+module Evaluator = Into_core.Evaluator
+
+let table1 () =
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.Spec.name;
+          Printf.sprintf ">%.0f" s.Spec.min_gain_db;
+          Printf.sprintf ">%.1f" (s.Spec.min_gbw_hz /. 1e6);
+          Printf.sprintf ">%.0f" s.Spec.min_pm_deg;
+          Printf.sprintf "<%.0f" (s.Spec.max_power_w *. 1e6);
+          Printf.sprintf "%.0f" (s.Spec.cl_f *. 1e12);
+        ])
+      Spec.all
+  in
+  "Table I: design specification sets\n"
+  ^ Table.render
+      ~header:[ "Specs"; "Gain(dB)"; "GBW(MHz)"; "PM(deg)"; "Power(uW)"; "CL(pF)" ]
+      rows
+
+let fmt_fom f = if f >= 10000.0 then Printf.sprintf "%.0f" f else Printf.sprintf "%.2f" f
+
+let fig5 campaign spec =
+  let series = Campaign.fig5_series campaign spec ~grid_step:200 in
+  let grid = match series with [] -> [] | (_, pts) :: _ -> List.map (fun (s, _, _) -> s) pts in
+  let header = "# Sim." :: List.map fst series in
+  let rows =
+    List.map
+      (fun sims ->
+        string_of_int sims
+        :: List.map
+             (fun (_, pts) ->
+               match List.find_opt (fun (s, _, _) -> s = sims) pts with
+               | Some (_, fom, n) when n > 0 -> fmt_fom fom
+               | Some _ | None -> "-")
+             series)
+      grid
+  in
+  Printf.sprintf
+    "Fig. 5 (%s): mean best feasible FoM vs number of simulations\n%s"
+    spec.Spec.name
+    (Table.render ~header rows)
+
+let table2 campaign =
+  let block spec =
+    let rows =
+      List.map
+        (fun (r : Campaign.row) ->
+          [
+            spec.Spec.name;
+            r.method_name;
+            Printf.sprintf "%d/%d" (fst r.success_rate) (snd r.success_rate);
+            (match r.final_fom with Some f -> fmt_fom f | None -> "-");
+            (match r.sims_to_ref with Some s -> Printf.sprintf "%.0f" s | None -> "-");
+            (match r.speedup with Some s -> Table.fmt_ratio s | None -> "-");
+          ])
+        (Campaign.table2 campaign spec)
+    in
+    rows
+  in
+  "Table II: behavior-level op-amp optimization results\n"
+  ^ Table.render
+      ~header:[ "Specs"; "Method"; "Suc. Rate"; "Final FoM"; "# Sim."; "Sim. Speedup" ]
+      (List.concat_map block Spec.all)
+
+let perf_cells p ~cl_f =
+  [
+    Printf.sprintf "%.2f" p.Perf.gain_db;
+    Printf.sprintf "%.2f" (p.Perf.gbw_hz /. 1e6);
+    Printf.sprintf "%.2f" p.Perf.pm_deg;
+    Printf.sprintf "%.2f" (p.Perf.power_w *. 1e6);
+    fmt_fom (Perf.fom p ~cl_f);
+  ]
+
+let table3 campaign ~methods =
+  let rows =
+    List.concat_map
+      (fun spec ->
+        List.filter_map
+          (fun m ->
+            Option.map
+              (fun (e : Evaluator.evaluation) ->
+                (spec.Spec.name :: Methods.name m :: perf_cells e.perf ~cl_f:spec.Spec.cl_f)
+                @ [ Into_circuit.Topology.to_string e.topology ])
+              (Campaign.best_evaluation campaign m spec))
+          methods)
+      Spec.all
+  in
+  "Table III: behavior-level op-amp performance (best design per method)\n"
+  ^ Table.render
+      ~header:
+        [ "Specs"; "Method"; "Gain(dB)"; "GBW(MHz)"; "PM(deg)"; "Power(uW)"; "FoM"; "Topology" ]
+      rows
+
+let slot_cell slot sub =
+  Printf.sprintf "%s:%s"
+    (Into_circuit.Topology.slot_name slot)
+    (Into_circuit.Subcircuit.to_string sub)
+
+let gradients (r : Interpret_exp.report) =
+  let fmt_opt u = function Some v -> Printf.sprintf "%.3g%s" v u | None -> "-" in
+  let rows =
+    List.map
+      (fun (row : Interpret_exp.slot_row) ->
+        [
+          slot_cell row.slot row.subcircuit;
+          Printf.sprintf "%.4f" row.gbw_gradient;
+          fmt_opt "MHz" (Option.map (fun d -> d /. 1e6) row.d_gbw_hz);
+          Printf.sprintf "%.4f" row.pm_gradient;
+          fmt_opt "deg" row.d_pm_deg;
+        ])
+      r.Interpret_exp.rows
+  in
+  Printf.sprintf
+    "Section IV-B: WL-GP gradients vs remove-and-resimulate sensitivity\n\
+     design: %s\n\
+     %s\n\
+     sign agreement: %d/%d (gradient sign vs performance loss on removal)"
+    (Into_circuit.Topology.to_string r.Interpret_exp.design.Evaluator.topology)
+    (Table.render
+       ~header:[ "Subcircuit"; "grad GBW"; "d GBW (removed)"; "grad PM"; "d PM (removed)" ]
+       rows)
+    r.Interpret_exp.agreements r.Interpret_exp.comparisons
+
+let table4 (r : Refine_exp.report) =
+  let cl = Spec.s5.Spec.cl_f in
+  let case_rows (c : Refine_exp.case) =
+    let before_row = (c.Refine_exp.label :: perf_cells c.Refine_exp.before ~cl_f:cl) in
+    match c.Refine_exp.outcome.Into_core.Refine.refined with
+    | Some (_, _, perf) ->
+      let label = "R" ^ String.sub c.Refine_exp.label 1 1 in
+      [ before_row; (label :: perf_cells perf ~cl_f:cl) ]
+    | None -> [ before_row; [ c.Refine_exp.label ^ " (refinement failed)"; ""; ""; ""; ""; "" ] ]
+  in
+  let moves (c : Refine_exp.case) =
+    List.map
+      (fun (m : Into_core.Refine.move) ->
+        Printf.sprintf "  %s: %s -> %s (%d sims)" c.Refine_exp.label
+          (slot_cell m.Into_core.Refine.slot m.Into_core.Refine.from_sub)
+          (Into_circuit.Subcircuit.to_string m.Into_core.Refine.to_sub)
+          c.Refine_exp.outcome.Into_core.Refine.n_sims)
+      c.Refine_exp.outcome.Into_core.Refine.moves
+  in
+  "Table IV: behavior-level performance before and after topology refinement (S-5)\n"
+  ^ Table.render
+      ~header:[ "Circuit"; "Gain(dB)"; "GBW(MHz)"; "PM(deg)"; "Power(uW)"; "FoM" ]
+      (List.concat_map case_rows r.Refine_exp.cases)
+  ^ "\nrefinement moves:\n"
+  ^ String.concat "\n" (List.concat_map moves r.Refine_exp.cases)
+
+let table5 rows =
+  let render_row (r : Tlevel_exp.row) =
+    match r.Tlevel_exp.transistor with
+    | Some p ->
+      let cl = (Spec.find r.Tlevel_exp.spec_name).Spec.cl_f in
+      (r.Tlevel_exp.spec_name :: r.Tlevel_exp.label :: perf_cells p ~cl_f:cl)
+      @ [ (match r.Tlevel_exp.meets_spec with Some true -> "yes" | Some false -> "no" | None -> "-") ]
+    | None -> [ r.Tlevel_exp.spec_name; r.Tlevel_exp.label; "-"; "-"; "-"; "-"; "-"; "-" ]
+  in
+  "Table V: transistor-level op-amp performance\n"
+  ^ Table.render
+      ~header:
+        [ "Specs"; "Method/Circuit"; "Gain(dB)"; "GBW(MHz)"; "PM(deg)"; "Power(uW)"; "FoM"; "meets" ]
+      (List.map render_row rows)

@@ -1,0 +1,26 @@
+(** Paper-style text rendering of every table and figure. *)
+
+val table1 : unit -> string
+(** Table I: the design specification sets. *)
+
+val fig5 : Campaign.t -> Into_circuit.Spec.t -> string
+(** Fig. 5 as a text series: mean best-FoM-so-far vs #simulations per
+    method. *)
+
+val table2 : Campaign.t -> string
+(** Table II: success rate / final FoM / #sims / speedup for all specs. *)
+
+val table3 : Campaign.t -> methods:Methods.id list -> string
+(** Table III: metric breakdown of each method's best op-amp per spec. *)
+
+val gradients : Interpret_exp.report -> string
+(** Section IV-B: gradient vs sensitivity table. *)
+
+val table4 : Refine_exp.report -> string
+(** Table IV: performance before and after refinement (plus the moves). *)
+
+val table5 : Tlevel_exp.row list -> string
+(** Table V: transistor-level performance. *)
+
+val perf_cells : Into_circuit.Perf.t -> cl_f:float -> string list
+(** [gain; gbw(MHz); pm; power(uW); fom] formatted like the paper. *)

@@ -1,0 +1,27 @@
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+
+let c1 =
+  Topology.make
+    ~vin_v2:(Subcircuit.Gm (Subcircuit.Minus, Subcircuit.Forward))
+    ~vin_vout:(Subcircuit.Gm (Subcircuit.Minus, Subcircuit.Forward))
+    ~v1_vout:
+      (Subcircuit.Gm_with
+         (Subcircuit.Minus, Subcircuit.Forward, Subcircuit.Cap, Subcircuit.Parallel))
+    ~v1_gnd:Subcircuit.No_conn ~v2_gnd:Subcircuit.No_conn
+
+let c2 =
+  Topology.make
+    ~vin_v2:(Subcircuit.Gm (Subcircuit.Minus, Subcircuit.Forward))
+    ~vin_vout:Subcircuit.No_conn
+    ~v1_vout:(Subcircuit.Passive Subcircuit.Single_c)
+    ~v1_gnd:Subcircuit.No_conn
+    ~v2_gnd:(Subcircuit.Passive (Subcircuit.Rc Subcircuit.Series))
+
+let c1_expected_move =
+  (Topology.V1_vout, Subcircuit.Gm (Subcircuit.Minus, Subcircuit.Forward))
+
+let c2_expected_move =
+  ( Topology.Vin_v2,
+    Subcircuit.Gm_with
+      (Subcircuit.Plus, Subcircuit.Forward, Subcircuit.Cap, Subcircuit.Series) )

@@ -1,0 +1,18 @@
+(** Behavior-level encodings of the two published three-stage op-amps used
+    as refinement seeds in Section IV-C (Fig. 7).
+
+    C1 re-encodes the no-Miller feedforward scheme of Thandri &
+    Silva-Martinez [19]: feedforward transconductors from the input to both
+    later nodes and a parallel -gm/C block between v1 and vout.
+    C2 re-encodes the impedance-adapting compensation of Peng et al. [20]:
+    a feedforward -gm into v2, a Miller capacitor between v1 and vout and
+    an R-C series impedance-adapting network at v2. *)
+
+val c1 : Into_circuit.Topology.t
+val c2 : Into_circuit.Topology.t
+
+val c1_expected_move : Into_circuit.Topology.slot * Into_circuit.Subcircuit.t
+(** The paper's refinement: the v1-vout parallel -gm/C replaced by -gm. *)
+
+val c2_expected_move : Into_circuit.Topology.slot * Into_circuit.Subcircuit.t
+(** The paper's refinement: the vin-v2 -gm replaced by a series +gm/C. *)

@@ -1,0 +1,34 @@
+(** Surrogate-quality experiment (E9): does the WL kernel actually predict
+    circuit performance better than the continuous embedding?
+
+    This isolates the paper's central modelling claim from the search loop:
+    a pool of random topologies is sized and measured, both surrogates are
+    trained on the same split, and their held-out predictions are scored by
+    Spearman rank correlation per metric (rank quality is what acquisition
+    maximization consumes). *)
+
+type model_score = {
+  metric : string;
+  wl_spearman : float;
+  embedding_spearman : float;
+}
+
+type report = {
+  n_train : int;
+  n_test : int;
+  scores : model_score list;
+  sims_spent : int;
+}
+
+val run :
+  ?n_train:int ->
+  ?n_test:int ->
+  ?progress:(string -> unit) ->
+  spec:Into_circuit.Spec.t ->
+  sizing_config:Into_core.Sizing.config ->
+  seed:int ->
+  unit ->
+  report
+(** Defaults: 40 training and 20 test topologies. *)
+
+val render : Into_circuit.Spec.t -> report -> string

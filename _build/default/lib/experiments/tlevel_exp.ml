@@ -1,0 +1,67 @@
+module Spec = Into_circuit.Spec
+module Perf = Into_circuit.Perf
+module Evaluator = Into_core.Evaluator
+module Tlevel = Into_transistor.Tlevel
+
+type row = {
+  spec_name : string;
+  label : string;
+  behavioral : Perf.t;
+  transistor : Perf.t option;
+  behavioral_fom : float;
+  transistor_fom : float option;
+  meets_spec : bool option;
+  impls : Into_transistor.Mapping.stage_impl list;
+}
+
+let evaluate_design ~spec ~label ~topology ~sizing ~behavioral =
+  let cl_f = spec.Spec.cl_f in
+  match Tlevel.evaluate topology ~sizing ~cl_f with
+  | None ->
+    {
+      spec_name = spec.Spec.name;
+      label;
+      behavioral;
+      transistor = None;
+      behavioral_fom = Perf.fom behavioral ~cl_f;
+      transistor_fom = None;
+      meets_spec = None;
+      impls = [];
+    }
+  | Some r ->
+    {
+      spec_name = spec.Spec.name;
+      label;
+      behavioral;
+      transistor = Some r.Tlevel.perf;
+      behavioral_fom = Perf.fom behavioral ~cl_f;
+      transistor_fom = Some (Perf.fom r.Tlevel.perf ~cl_f);
+      meets_spec = Some (Perf.satisfies r.Tlevel.perf spec);
+      impls = r.Tlevel.impls;
+    }
+
+let from_campaign campaign ~methods =
+  List.concat_map
+    (fun spec ->
+      List.filter_map
+        (fun m ->
+          match Campaign.best_evaluation campaign m spec with
+          | None -> None
+          | Some (e : Evaluator.evaluation) ->
+            Some
+              (evaluate_design ~spec ~label:(Methods.name m) ~topology:e.topology
+                 ~sizing:e.sizing ~behavioral:e.perf))
+        methods)
+    Spec.all
+
+let from_refinements (report : Refine_exp.report) =
+  List.filter_map
+    (fun (c : Refine_exp.case) ->
+      match c.Refine_exp.outcome.Into_core.Refine.refined with
+      | None -> None
+      | Some (topo, sizing, perf) ->
+        let label = "R" ^ String.sub c.Refine_exp.label 1 1 in
+        Some
+          (evaluate_design ~spec:Spec.s5 ~label ~topology:topo ~sizing
+             ~behavioral:perf))
+    report.Refine_exp.cases

@@ -1,0 +1,28 @@
+(** The Section IV-D experiment (Table V): map the best behavioral op-amps
+    and the refined designs to the transistor level and re-measure. *)
+
+type row = {
+  spec_name : string;
+  label : string;  (** method name or refined-circuit name *)
+  behavioral : Into_circuit.Perf.t;
+  transistor : Into_circuit.Perf.t option;  (** [None]: failed to simulate *)
+  behavioral_fom : float;
+  transistor_fom : float option;
+  meets_spec : bool option;  (** transistor-level spec check *)
+  impls : Into_transistor.Mapping.stage_impl list;
+}
+
+val evaluate_design :
+  spec:Into_circuit.Spec.t ->
+  label:string ->
+  topology:Into_circuit.Topology.t ->
+  sizing:float array ->
+  behavioral:Into_circuit.Perf.t ->
+  row
+
+val from_campaign :
+  Campaign.t -> methods:Methods.id list -> row list
+(** One row per (spec, method) best design found by the campaign. *)
+
+val from_refinements : Refine_exp.report -> row list
+(** Rows for the refined designs R1/R2 under S-5. *)

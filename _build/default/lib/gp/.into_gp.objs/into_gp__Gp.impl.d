@@ -1,0 +1,1 @@
+lib/gp/gp.ml: Array Float Into_linalg Into_util

@@ -1,0 +1,1 @@
+lib/gp/rbf.ml: Array Into_linalg

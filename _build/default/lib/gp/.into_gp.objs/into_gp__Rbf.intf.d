@@ -1,0 +1,1 @@
+lib/gp/rbf.mli: Into_linalg

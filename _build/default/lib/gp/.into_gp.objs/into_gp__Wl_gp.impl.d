@@ -1,0 +1,1 @@
+lib/gp/wl_gp.ml: Array Gp Into_graph Into_linalg List

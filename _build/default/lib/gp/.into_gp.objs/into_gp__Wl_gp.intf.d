@@ -1,0 +1,1 @@
+lib/gp/wl_gp.mli: Gp Into_graph

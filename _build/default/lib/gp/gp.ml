@@ -1,0 +1,47 @@
+module Mat = Into_linalg.Mat
+module Cholesky = Into_linalg.Cholesky
+
+type t = {
+  chol : Cholesky.t;
+  alpha : float array;
+  y_mean : float;
+  y_std : float;
+  signal : float;
+  noise : float;
+  lml : float;
+}
+
+let fit ~gram ~y ~signal ~noise =
+  let n = Array.length y in
+  if n = 0 then invalid_arg "Gp.fit: empty data";
+  if Mat.rows gram <> n || Mat.cols gram <> n then invalid_arg "Gp.fit: dimension mismatch";
+  if signal <= 0.0 || noise <= 0.0 then invalid_arg "Gp.fit: non-positive hyperparameter";
+  let z, y_mean, y_std = Into_util.Stats.normalize y in
+  let cov = Mat.add_diagonal (Mat.scale signal gram) noise in
+  let chol, _jitter = Cholesky.decompose_with_jitter cov in
+  let alpha = Cholesky.solve chol z in
+  let fit_term = -0.5 *. Into_linalg.Vec.dot z alpha in
+  let lml =
+    fit_term -. (0.5 *. Cholesky.log_det chol)
+    -. (0.5 *. float_of_int n *. log (2.0 *. Float.pi))
+  in
+  { chol; alpha; y_mean; y_std; signal; noise; lml }
+
+let n_observations t = Array.length t.alpha
+let log_marginal_likelihood t = t.lml
+
+let predict t ~k_star ~k_self =
+  if Array.length k_star <> Array.length t.alpha then
+    invalid_arg "Gp.predict: k_star dimension mismatch";
+  let ks = Array.map (fun k -> t.signal *. k) k_star in
+  let mean_z = Into_linalg.Vec.dot ks t.alpha in
+  let v = Cholesky.solve_lower t.chol ks in
+  let var_z = (t.signal *. k_self) +. t.noise -. Into_linalg.Vec.dot v v in
+  let var_z = Float.max var_z 0.0 in
+  ((mean_z *. t.y_std) +. t.y_mean, var_z *. t.y_std *. t.y_std)
+
+let alpha t = Array.copy t.alpha
+let y_mean t = t.y_mean
+let y_std t = t.y_std
+let signal t = t.signal
+let noise t = t.noise

@@ -1,0 +1,31 @@
+(** Gaussian-process regression over a precomputed kernel (Eqs. 3-4).
+
+    The module is agnostic to where the kernel comes from: the topology
+    surrogate feeds WL gram matrices, the sizing surrogate feeds RBF gram
+    matrices.  Targets are standardized internally; the covariance is
+    [signal * K + noise * I] with jitter-protected Cholesky. *)
+
+type t
+
+val fit : gram:Into_linalg.Mat.t -> y:float array -> signal:float -> noise:float -> t
+(** @raise Invalid_argument on a dimension mismatch or empty data. *)
+
+val n_observations : t -> int
+
+val log_marginal_likelihood : t -> float
+(** Of the standardized targets; the model-selection criterion. *)
+
+val predict : t -> k_star:float array -> k_self:float -> float * float
+(** [(mean, variance)] in the original target units given raw kernel values
+    [k_star] against the training set and the query's self-kernel
+    [k_self]. Variance is clamped to be non-negative. *)
+
+val alpha : t -> float array
+(** [(signal*K + noise*I)^-1 y_standardized] — the representer weights; the
+    posterior mean is [signal * k_star . alpha] (standardized).  Used by the
+    analytic WL-feature gradient (Eq. 5). *)
+
+val y_mean : t -> float
+val y_std : t -> float
+val signal : t -> float
+val noise : t -> float

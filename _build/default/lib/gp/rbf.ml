@@ -1,0 +1,18 @@
+let sq_dist a b =
+  if Array.length a <> Array.length b then invalid_arg "Rbf: dimension mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+let kernel ~lengthscale a b =
+  if lengthscale <= 0.0 then invalid_arg "Rbf.kernel: non-positive lengthscale";
+  exp (-.sq_dist a b /. (2.0 *. lengthscale *. lengthscale))
+
+let gram ~lengthscale xs =
+  let n = Array.length xs in
+  Into_linalg.Mat.init n n (fun i j -> kernel ~lengthscale xs.(i) xs.(j))
+
+let cross ~lengthscale xs q = Array.map (fun x -> kernel ~lengthscale x q) xs

@@ -1,0 +1,8 @@
+(** Isotropic squared-exponential kernel on normalized parameter vectors —
+    the surrogate kernel of the continuous sizing BO. *)
+
+val kernel : lengthscale:float -> float array -> float array -> float
+(** [exp (-||x-x'||^2 / (2 l^2))]. *)
+
+val gram : lengthscale:float -> float array array -> Into_linalg.Mat.t
+val cross : lengthscale:float -> float array array -> float array -> float array

@@ -1,0 +1,86 @@
+module Wl = Into_graph.Wl
+module Wl_kernel = Into_graph.Wl_kernel
+
+type t = {
+  dict : Wl.dict;
+  h : int;
+  feats : Wl.features array;
+  gp : Gp.t;
+}
+
+let default_h_candidates = [ 0; 1; 2; 3 ]
+let default_noise_candidates = [ 1e-4; 1e-3; 1e-2; 1e-1; 0.3; 1.0 ]
+let default_signal_candidates = [ 0.5; 1.0; 2.0 ]
+
+let fit ?(h_candidates = default_h_candidates)
+    ?(noise_candidates = default_noise_candidates)
+    ?(signal_candidates = default_signal_candidates) ~dict ~graphs ~y () =
+  let n = Array.length graphs in
+  if n = 0 then invalid_arg "Wl_gp.fit: empty data";
+  if Array.length y <> n then invalid_arg "Wl_gp.fit: length mismatch";
+  if h_candidates = [] || noise_candidates = [] || signal_candidates = [] then
+    invalid_arg "Wl_gp.fit: empty candidate list";
+  let best = ref None in
+  let consider model =
+    match !best with
+    | Some prev when Gp.log_marginal_likelihood prev.gp >= Gp.log_marginal_likelihood model.gp
+      ->
+      ()
+    | Some _ | None -> best := Some model
+  in
+  List.iter
+    (fun h ->
+      let feats = Array.map (fun g -> Wl.extract dict ~h g) graphs in
+      let gram = Wl_kernel.gram feats in
+      List.iter
+        (fun noise ->
+          List.iter
+            (fun signal ->
+              match Gp.fit ~gram ~y ~signal ~noise with
+              | gp -> consider { dict; h; feats; gp }
+              | exception Into_linalg.Cholesky.Not_positive_definite -> ())
+            signal_candidates)
+        noise_candidates)
+    h_candidates;
+  match !best with
+  | Some model -> model
+  | None -> failwith "Wl_gp.fit: no hyperparameter combination produced a valid fit"
+
+let h t = t.h
+let log_marginal_likelihood t = Gp.log_marginal_likelihood t.gp
+let gp t = t.gp
+let dict t = t.dict
+
+let features_of t g = Wl.extract t.dict ~h:t.h g
+
+let predict t g =
+  let f = features_of t g in
+  let k_star = Wl_kernel.cross t.feats f in
+  Gp.predict t.gp ~k_star ~k_self:1.0
+
+(* Eq. 5 adapted to the normalized kernel
+   k_n(phi, phi_i) = <phi, phi_i> / (|phi| |phi_i|):
+   d k_n / d phi_j = phi_i_j / (r r_i) - <phi, phi_i> phi_j / (r^3 r_i). *)
+let feature_gradient t g ~feature_id =
+  let f = features_of t g in
+  let r = Wl.norm f in
+  if r = 0.0 then 0.0
+  else
+    let phi_j = float_of_int (Wl.count f feature_id) in
+    let alpha = Gp.alpha t.gp in
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun i fi ->
+        let ri = Wl.norm fi in
+        if ri > 0.0 then begin
+          let d = Wl.dot f fi in
+          let phi_ij = float_of_int (Wl.count fi feature_id) in
+          let dk = (phi_ij /. (r *. ri)) -. (d *. phi_j /. (r *. r *. r *. ri)) in
+          acc := !acc +. (alpha.(i) *. dk)
+        end)
+      t.feats;
+    Gp.y_std t.gp *. Gp.signal t.gp *. !acc
+
+let present_feature_gradients t g =
+  let f = features_of t g in
+  List.map (fun (id, _) -> (id, feature_gradient t g ~feature_id:id)) (Wl.to_list f)

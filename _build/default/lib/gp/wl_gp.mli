@@ -1,0 +1,46 @@
+(** The WL-kernel Gaussian process over circuit graphs (Section III-B).
+
+    One [Wl_gp.t] models one performance metric.  The WL iteration count
+    [h], the noise level and the signal variance are selected by maximum
+    marginal likelihood, as the paper prescribes ("h ... can be determined
+    through maximum likelihood estimation in WL-GP").  The kernel is the
+    normalized WL kernel, so [k(G, G) = 1].
+
+    The analytic gradient of the posterior mean with respect to the WL
+    feature counts (Eq. 5) is exposed for the interpretability layer. *)
+
+type t
+
+val default_h_candidates : int list
+(** [0; 1; 2; 3]. *)
+
+val fit :
+  ?h_candidates:int list ->
+  ?noise_candidates:float list ->
+  ?signal_candidates:float list ->
+  dict:Into_graph.Wl.dict ->
+  graphs:Into_graph.Labeled_graph.t array ->
+  y:float array ->
+  unit ->
+  t
+(** @raise Invalid_argument on empty data or mismatched lengths. *)
+
+val h : t -> int
+val log_marginal_likelihood : t -> float
+val gp : t -> Gp.t
+
+val predict : t -> Into_graph.Labeled_graph.t -> float * float
+(** Posterior mean and variance (Eqs. 3-4) for a new graph. *)
+
+val feature_gradient : t -> Into_graph.Labeled_graph.t -> feature_id:int -> float
+(** Expected derivative of the posterior mean w.r.t. the count of feature
+    [feature_id] at the query graph (Eq. 5), in original target units and
+    accounting for the kernel normalization. *)
+
+val present_feature_gradients : t -> Into_graph.Labeled_graph.t -> (int * float) list
+(** Gradient for every feature present in the query graph, sorted by id. *)
+
+val features_of : t -> Into_graph.Labeled_graph.t -> Into_graph.Wl.features
+(** Feature vector of a graph under the model's dictionary and selected h. *)
+
+val dict : t -> Into_graph.Wl.dict

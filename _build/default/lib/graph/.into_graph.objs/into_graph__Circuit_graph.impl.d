@@ -1,0 +1,1 @@
+lib/graph/circuit_graph.ml: Array Into_circuit Labeled_graph List

@@ -1,0 +1,1 @@
+lib/graph/circuit_graph.mli: Into_circuit Labeled_graph

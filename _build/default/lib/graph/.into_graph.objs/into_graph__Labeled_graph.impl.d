@@ -1,0 +1,1 @@
+lib/graph/labeled_graph.ml: Array List Printf String

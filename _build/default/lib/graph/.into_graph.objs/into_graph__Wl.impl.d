@@ -1,0 +1,1 @@
+lib/graph/wl.ml: Array Hashtbl Labeled_graph List Option Printf String

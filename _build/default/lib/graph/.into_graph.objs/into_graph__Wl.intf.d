@@ -1,0 +1,1 @@
+lib/graph/wl.mli: Labeled_graph

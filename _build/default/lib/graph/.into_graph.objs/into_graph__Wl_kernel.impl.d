@@ -1,0 +1,1 @@
+lib/graph/wl_kernel.ml: Array Into_linalg Wl

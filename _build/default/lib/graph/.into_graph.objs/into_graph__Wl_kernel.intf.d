@@ -1,0 +1,1 @@
+lib/graph/wl_kernel.mli: Into_linalg Wl

@@ -1,0 +1,72 @@
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+
+type node_origin =
+  | Circuit_node of string
+  | Fixed_stage of int
+  | Variable_slot of Topology.slot
+
+(* Circuit-node numbering inside the graph. *)
+let vin = 0
+let v1 = 1
+let v2 = 2
+let gnd = 3
+let vout = 4
+
+let circuit_node_labels = [| "vin"; "v1"; "v2"; "gnd"; "vout" |]
+
+let stage_info = [ (1, "-gm1", vin, v1); (2, "+gm2", v1, v2); (3, "-gm3", v2, vout) ]
+
+let slot_endpoints = function
+  | Topology.Vin_v2 -> (vin, v2)
+  | Topology.Vin_vout -> (vin, vout)
+  | Topology.V1_vout -> (v1, vout)
+  | Topology.V1_gnd -> (v1, gnd)
+  | Topology.V2_gnd -> (v2, gnd)
+
+let connected_slots topo =
+  List.filter
+    (fun slot -> not (Subcircuit.equal (Topology.get topo slot) Subcircuit.No_conn))
+    Topology.slots
+
+let build topo =
+  let slots = connected_slots topo in
+  let labels =
+    Array.of_list
+      (Array.to_list circuit_node_labels
+      @ List.map (fun (_, lbl, _, _) -> lbl) stage_info
+      @ List.map (fun slot -> Subcircuit.label (Topology.get topo slot)) slots)
+  in
+  let stage_edges =
+    List.concat
+      (List.mapi
+         (fun i (_, _, a, b) ->
+           let node = 5 + i in
+           [ (a, node); (node, b) ])
+         stage_info)
+  in
+  let slot_edges =
+    List.concat
+      (List.mapi
+         (fun i slot ->
+           let node = 8 + i in
+           let a, b = slot_endpoints slot in
+           [ (a, node); (node, b) ])
+         slots)
+  in
+  Labeled_graph.create ~labels ~edges:(stage_edges @ slot_edges)
+
+let origins topo =
+  let slots = connected_slots topo in
+  Array.of_list
+    (Array.to_list (Array.map (fun n -> Circuit_node n) circuit_node_labels)
+    @ List.map (fun (i, _, _, _) -> Fixed_stage i) stage_info
+    @ List.map (fun slot -> Variable_slot slot) slots)
+
+let slot_node topo slot =
+  let slots = connected_slots topo in
+  let rec find i = function
+    | [] -> None
+    | s :: rest -> if s = slot then Some (8 + i) else find (i + 1) rest
+  in
+  find 0 slots

@@ -1,0 +1,25 @@
+(** The circuit-graph representation of Section III-A.
+
+    Both circuit nodes and subcircuits become graph nodes; electrical
+    connections become edges.  "No connection" subcircuits are elided.  The
+    resulting graphs have at most 13 nodes (5 circuit nodes + 3 fixed stages
+    + 5 variable subcircuits) and 16 edges, matching the paper's complexity
+    accounting for the WL kernel. *)
+
+type node_origin =
+  | Circuit_node of string  (** vin, v1, v2, gnd, vout *)
+  | Fixed_stage of int  (** 1, 2, 3 *)
+  | Variable_slot of Into_circuit.Topology.slot
+
+val build : Into_circuit.Topology.t -> Labeled_graph.t
+(** Graph of a topology.  Node labels are circuit-node names, stage labels
+    ("-gm1", "+gm2", "-gm3") and variable-subcircuit type labels. *)
+
+val origins : Into_circuit.Topology.t -> node_origin array
+(** Parallel to the node numbering of [build]: what each graph node stands
+    for.  Used by the interpretability layer to map WL features back to
+    subcircuit slots. *)
+
+val slot_node : Into_circuit.Topology.t -> Into_circuit.Topology.slot -> int option
+(** Graph-node index of a variable slot ([None] when the slot is
+    unconnected). *)

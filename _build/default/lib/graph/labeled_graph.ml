@@ -1,0 +1,43 @@
+type t = {
+  labels : string array;
+  adj : int list array;
+  edge_list : (int * int) list;
+}
+
+let create ~labels ~edges =
+  let n = Array.length labels in
+  let canon (a, b) =
+    if a < 0 || a >= n || b < 0 || b >= n then
+      invalid_arg "Labeled_graph.create: endpoint out of range";
+    if a = b then invalid_arg "Labeled_graph.create: self-loop";
+    if a < b then (a, b) else (b, a)
+  in
+  let canonical = List.sort_uniq compare (List.map canon edges) in
+  if List.length canonical <> List.length edges then
+    invalid_arg "Labeled_graph.create: duplicate edge";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    canonical;
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { labels = Array.copy labels; adj; edge_list = canonical }
+
+let n_nodes t = Array.length t.labels
+let n_edges t = List.length t.edge_list
+let label t i = t.labels.(i)
+let labels t = Array.copy t.labels
+let neighbors t i = t.adj.(i)
+let edges t = t.edge_list
+let degree t i = List.length t.adj.(i)
+let has_edge t a b = List.mem (min a b, max a b) t.edge_list
+
+let to_string t =
+  let node i =
+    Printf.sprintf "  %d:%s -> [%s]" i t.labels.(i)
+      (String.concat "; " (List.map string_of_int t.adj.(i)))
+  in
+  String.concat "\n"
+    (Printf.sprintf "graph with %d nodes, %d edges" (n_nodes t) (n_edges t)
+    :: List.init (n_nodes t) node)

@@ -1,0 +1,25 @@
+(** Undirected graphs with string-labeled nodes.
+
+    This is the representation the WL kernel operates on.  Nodes are dense
+    integers; parallel edges and self-loops are rejected at construction. *)
+
+type t
+
+val create : labels:string array -> edges:(int * int) list -> t
+(** @raise Invalid_argument on an out-of-range endpoint, a self-loop or a
+    duplicate edge. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+val label : t -> int -> string
+val labels : t -> string array
+val neighbors : t -> int -> int list
+(** Sorted adjacency list. *)
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, with [fst < snd], sorted. *)
+
+val degree : t -> int -> int
+val has_edge : t -> int -> int -> bool
+val to_string : t -> string
+(** Multi-line dump for debugging and examples. *)

@@ -1,0 +1,110 @@
+type pattern =
+  | Base of string
+  | Composed of { root : int; neighbors : int list; iteration : int }
+
+type dict = {
+  intern : (string, int) Hashtbl.t;
+  mutable patterns : pattern array;
+  mutable used : int;
+}
+
+let create_dict () = { intern = Hashtbl.create 64; patterns = Array.make 64 (Base ""); used = 0 }
+
+let dict_size d = d.used
+
+let register d key pattern =
+  match Hashtbl.find_opt d.intern key with
+  | Some id -> id
+  | None ->
+    let id = d.used in
+    if id = Array.length d.patterns then begin
+      let bigger = Array.make (2 * id) (Base "") in
+      Array.blit d.patterns 0 bigger 0 id;
+      d.patterns <- bigger
+    end;
+    d.patterns.(id) <- pattern;
+    d.used <- d.used + 1;
+    Hashtbl.replace d.intern key id;
+    id
+
+let base_id d lbl = register d ("b:" ^ lbl) (Base lbl)
+
+let composed_id d ~iteration ~root ~neighbors =
+  let key =
+    Printf.sprintf "c%d:%d|%s" iteration root
+      (String.concat "," (List.map string_of_int neighbors))
+  in
+  register d key (Composed { root; neighbors; iteration })
+
+let pattern d id =
+  if id < 0 || id >= d.used then invalid_arg "Wl: unknown feature id";
+  d.patterns.(id)
+
+let rec describe d id =
+  match pattern d id with
+  | Base lbl -> lbl
+  | Composed { root; neighbors; _ } ->
+    let root_desc =
+      match pattern d root with
+      | Base lbl -> lbl
+      | Composed _ -> describe d root
+    in
+    Printf.sprintf "%s(%s)" root_desc (String.concat ", " (List.map (describe d) neighbors))
+
+let feature_iteration d id =
+  match pattern d id with Base _ -> 0 | Composed { iteration; _ } -> iteration
+
+type features = (int * int) array (* sorted by feature id, counts > 0 *)
+
+let node_feature_ids d ~h g =
+  if h < 0 then invalid_arg "Wl.node_feature_ids: negative h";
+  let n = Labeled_graph.n_nodes g in
+  let rows = Array.make (h + 1) [||] in
+  rows.(0) <- Array.init n (fun v -> base_id d (Labeled_graph.label g v));
+  for k = 1 to h do
+    let prev = rows.(k - 1) in
+    rows.(k) <-
+      Array.init n (fun v ->
+          let neigh = List.sort compare (List.map (fun u -> prev.(u)) (Labeled_graph.neighbors g v)) in
+          composed_id d ~iteration:k ~root:prev.(v) ~neighbors:neigh)
+  done;
+  rows
+
+let extract d ~h g =
+  let rows = node_feature_ids d ~h g in
+  let counts = Hashtbl.create 32 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun id ->
+          Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+        row)
+    rows;
+  let pairs = Hashtbl.fold (fun id c acc -> (id, c) :: acc) counts [] in
+  Array.of_list (List.sort compare pairs)
+
+let count f id =
+  let rec search lo hi =
+    if lo >= hi then 0
+    else
+      let mid = (lo + hi) / 2 in
+      let fid, c = f.(mid) in
+      if fid = id then c else if fid < id then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length f)
+
+let to_list f = Array.to_list f
+
+let dot a b =
+  (* Merge join over the two sorted sparse vectors. *)
+  let rec go i j acc =
+    if i >= Array.length a || j >= Array.length b then acc
+    else
+      let ia, ca = a.(i) and ib, cb = b.(j) in
+      if ia = ib then go (i + 1) (j + 1) (acc +. float_of_int (ca * cb))
+      else if ia < ib then go (i + 1) j acc
+      else go i (j + 1) acc
+  in
+  go 0 0 0.0
+
+let norm f = sqrt (dot f f)

@@ -1,0 +1,17 @@
+let kernel = Wl.dot
+
+let normalized a b =
+  let na = Wl.norm a and nb = Wl.norm b in
+  if na = 0.0 || nb = 0.0 then 0.0 else Wl.dot a b /. (na *. nb)
+
+let gram ?(normalize = true) feats =
+  let n = Array.length feats in
+  let k = if normalize then normalized else kernel in
+  Into_linalg.Mat.init n n (fun i j -> if j < i then 0.0 else k feats.(i) feats.(j))
+  |> fun upper ->
+  Into_linalg.Mat.init n n (fun i j ->
+      if j >= i then Into_linalg.Mat.get upper i j else Into_linalg.Mat.get upper j i)
+
+let cross ?(normalize = true) feats q =
+  let k = if normalize then normalized else kernel in
+  Array.map (fun f -> k f q) feats

@@ -1,0 +1,14 @@
+(** The WL graph kernel (Eq. 2) and gram-matrix helpers.
+
+    [k_wl(G, G') = <phi(G), phi(G')>]; the normalized variant divides by
+    [sqrt(k(G,G) k(G',G'))] so that [k(G,G) = 1], which keeps GP signal
+    variance interpretable across h values. *)
+
+val kernel : Wl.features -> Wl.features -> float
+val normalized : Wl.features -> Wl.features -> float
+
+val gram : ?normalize:bool -> Wl.features array -> Into_linalg.Mat.t
+(** Symmetric gram matrix of a feature set (default [normalize = true]). *)
+
+val cross : ?normalize:bool -> Wl.features array -> Wl.features -> float array
+(** Kernel values of one query graph against a feature set. *)

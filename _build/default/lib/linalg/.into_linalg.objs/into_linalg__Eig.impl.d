@@ -1,0 +1,1 @@
+lib/linalg/eig.ml: Array Cmat Complex Mat

@@ -1,0 +1,1 @@
+lib/linalg/eig.mli: Cmat Complex Mat

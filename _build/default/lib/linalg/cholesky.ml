@@ -1,0 +1,84 @@
+exception Not_positive_definite
+
+type t = { l : Mat.t }
+
+let decompose a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Cholesky.decompose: not square";
+  let l = Mat.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      let s = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      if i = j then begin
+        if !s <= 0.0 then raise Not_positive_definite;
+        Mat.set l i j (sqrt !s)
+      end
+      else Mat.set l i j (!s /. Mat.get l j j)
+    done
+  done;
+  { l }
+
+let decompose_with_jitter a =
+  let n = Mat.rows a in
+  let mean_diag =
+    if n = 0 then 1.0
+    else begin
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do
+        s := !s +. Float.abs (Mat.get a i i)
+      done;
+      max (!s /. float_of_int n) 1e-30
+    end
+  in
+  let rec attempt k jitter =
+    if k > 12 then raise Not_positive_definite
+    else
+      let m = if jitter = 0.0 then a else Mat.add_diagonal a jitter in
+      match decompose m with
+      | ch -> (ch, jitter)
+      | exception Not_positive_definite ->
+        let next = if jitter = 0.0 then 1e-10 *. mean_diag else jitter *. 10.0 in
+        attempt (k + 1) next
+  in
+  attempt 0 0.0
+
+let dim t = Mat.rows t.l
+
+let solve_lower t b =
+  let n = dim t in
+  if Array.length b <> n then invalid_arg "Cholesky.solve_lower";
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Mat.get t.l i k *. y.(k))
+    done;
+    y.(i) <- !s /. Mat.get t.l i i
+  done;
+  y
+
+let solve t b =
+  let n = dim t in
+  let y = solve_lower t b in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Mat.get t.l k i *. x.(k))
+    done;
+    x.(i) <- !s /. Mat.get t.l i i
+  done;
+  x
+
+let log_det t =
+  let n = dim t in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. log (Mat.get t.l i i)
+  done;
+  2.0 *. !acc
+
+let lower t = Mat.copy t.l

@@ -1,0 +1,34 @@
+(** Cholesky factorization of symmetric positive-definite matrices.
+
+    The workhorse of GP regression: the gram matrix [K + sigma^2 I] is
+    factored once per fit; posterior means, variances and the log marginal
+    likelihood are then linear solves against the factor. *)
+
+exception Not_positive_definite
+
+type t
+(** Lower-triangular factor [L] with [L L^T = A]. *)
+
+val decompose : Mat.t -> t
+(** Factor a symmetric positive-definite matrix.
+    @raise Not_positive_definite when a pivot is not strictly positive. *)
+
+val decompose_with_jitter : Mat.t -> t * float
+(** Like {!decompose} but retries with geometrically increasing diagonal
+    jitter (starting at 1e-10 of the mean diagonal) when the matrix is only
+    semi-definite; returns the jitter that succeeded (0 when none needed).
+    @raise Not_positive_definite after 12 failed attempts. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve ch b] solves [A x = b]. *)
+
+val solve_lower : t -> Vec.t -> Vec.t
+(** [solve_lower ch b] solves [L y = b] (forward substitution only). *)
+
+val log_det : t -> float
+(** Log determinant of [A] (twice the log-sum of the factor diagonal). *)
+
+val lower : t -> Mat.t
+(** The explicit lower-triangular factor. *)
+
+val dim : t -> int

@@ -1,0 +1,68 @@
+exception Singular
+
+type t = { lu : Mat.t; perm : int array; sign : float }
+
+let decompose a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.decompose: not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: largest magnitude in column k below the diagonal. *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !pivot k) then pivot := i
+    done;
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !pivot j);
+        Mat.set lu !pivot j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tmp;
+      sign := -. !sign
+    end;
+    let pkk = Mat.get lu k k in
+    if Float.abs pkk < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let f = Mat.get lu i k /. pkk in
+      Mat.set lu i k f;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (f *. Mat.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve t b =
+  let n = Mat.rows t.lu in
+  if Array.length b <> n then invalid_arg "Lu.solve";
+  let x = Array.init n (fun i -> b.(t.perm.(i))) in
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Mat.get t.lu i k *. x.(k))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Mat.get t.lu i k *. x.(k))
+    done;
+    x.(i) <- !s /. Mat.get t.lu i i
+  done;
+  x
+
+let solve_system a b = solve (decompose a) b
+
+let det t =
+  let n = Mat.rows t.lu in
+  let d = ref t.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get t.lu i i
+  done;
+  !d

@@ -1,0 +1,17 @@
+(** LU factorization with partial pivoting for general real square systems. *)
+
+exception Singular
+
+type t
+
+val decompose : Mat.t -> t
+(** @raise Singular when a pivot column is numerically zero. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve [A x = b] using a previously computed factorization. *)
+
+val solve_system : Mat.t -> Vec.t -> Vec.t
+(** One-shot [decompose] + [solve]. *)
+
+val det : t -> float
+(** Determinant of the factored matrix. *)

@@ -1,0 +1,83 @@
+type t = { r : int; c : int; data : float array }
+
+let create r c =
+  if r < 0 || c < 0 then invalid_arg "Mat.create";
+  { r; c; data = Array.make (r * c) 0.0 }
+
+let init r c f =
+  let m = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      m.data.((i * c) + j) <- f i j
+    done
+  done;
+  m
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.data.((i * m.c) + j)
+let set m i j x = m.data.((i * m.c) + j) <- x
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init m.c m.r (fun i j -> get m j i)
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Mat.mul: dimension mismatch";
+  let m = create a.r b.c in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.c - 1 do
+          m.data.((i * m.c) + j) <- m.data.((i * m.c) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  m
+
+let mul_vec a x =
+  if a.c <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.r (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.c - 1 do
+        acc := !acc +. (get a i j *. x.(j))
+      done;
+      !acc)
+
+let add a b =
+  if a.r <> b.r || a.c <> b.c then invalid_arg "Mat.add: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> a.data.(i) +. b.data.(i)) }
+
+let scale s a = { a with data = Array.map (fun x -> s *. x) a.data }
+
+let of_rows rows_arr =
+  let r = Array.length rows_arr in
+  let c = if r = 0 then 0 else Array.length rows_arr.(0) in
+  Array.iter (fun row -> if Array.length row <> c then invalid_arg "Mat.of_rows") rows_arr;
+  init r c (fun i j -> rows_arr.(i).(j))
+
+let to_rows m = Array.init m.r (fun i -> Array.init m.c (fun j -> get m i j))
+
+let add_diagonal a x =
+  let m = copy a in
+  for i = 0 to min a.r a.c - 1 do
+    set m i i (get m i i +. x)
+  done;
+  m
+
+let max_abs_diff a b =
+  if a.r <> b.r || a.c <> b.c then invalid_arg "Mat.max_abs_diff";
+  let d = ref 0.0 in
+  Array.iteri (fun i x -> d := max !d (Float.abs (x -. b.data.(i)))) a.data;
+  !d
+
+let is_symmetric ?(tol = 1e-9) m =
+  m.r = m.c
+  &&
+  let ok = ref true in
+  for i = 0 to m.r - 1 do
+    for j = i + 1 to m.c - 1 do
+      if Float.abs (get m i j -. get m j i) > tol then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,26 @@
+(** Dense real matrices in row-major order. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+val add : t -> t -> t
+val scale : float -> t -> t
+val of_rows : float array array -> t
+val to_rows : t -> float array array
+val add_diagonal : t -> float -> t
+(** [add_diagonal a x] returns a copy with [x] added to every diagonal entry. *)
+
+val max_abs_diff : t -> t -> float
+val is_symmetric : ?tol:float -> t -> bool

@@ -1,0 +1,41 @@
+type t = float array
+
+let make n x = Array.make n x
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+
+let check_dims a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec: dimension mismatch"
+
+let dot a b =
+  check_dims a b;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let map2 f a b =
+  check_dims a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy a x y =
+  check_dims x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let max_abs_diff a b =
+  check_dims a b;
+  let m = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    m := max !m (Float.abs (a.(i) -. b.(i)))
+  done;
+  !m

@@ -1,0 +1,21 @@
+(** Dense real vectors (thin wrappers over [float array]). *)
+
+type t = float array
+
+val make : int -> float -> t
+val init : int -> (int -> float) -> t
+val dim : t -> int
+val copy : t -> t
+val dot : t -> t -> float
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val axpy : float -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t
+val max_abs_diff : t -> t -> float
+(** Infinity norm of the difference. *)

@@ -1,0 +1,1 @@
+lib/transistor/ekv.mli:

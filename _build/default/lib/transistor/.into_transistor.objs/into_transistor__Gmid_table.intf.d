@@ -1,0 +1,1 @@
+lib/transistor/gmid_table.mli: Ekv

@@ -1,0 +1,1 @@
+lib/transistor/mapping.ml: Ekv Float Gmid_table Into_circuit List Printf String

@@ -1,0 +1,1 @@
+lib/transistor/mapping.mli: Ekv Gmid_table Into_circuit

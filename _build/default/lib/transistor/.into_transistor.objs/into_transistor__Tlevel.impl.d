@@ -1,0 +1,1 @@
+lib/transistor/tlevel.ml: Ekv Gmid_table Into_circuit Mapping

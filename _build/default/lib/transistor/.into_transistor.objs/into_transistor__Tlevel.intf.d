@@ -1,0 +1,1 @@
+lib/transistor/tlevel.mli: Ekv Into_circuit Mapping

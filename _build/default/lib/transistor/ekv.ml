@@ -1,0 +1,56 @@
+type tech = {
+  n : float;
+  ut : float;
+  i0 : float;
+  cox : float;
+  cov : float;
+  va_per_um : float;
+}
+
+let default_tech =
+  {
+    n = 1.3;
+    ut = 0.0258;
+    i0 = 0.7e-6;
+    cox = 5e-15;  (* F/um^2 *)
+    cov = 0.3e-15;  (* F/um *)
+    va_per_um = 12.0;
+  }
+
+let gm_over_id_of_ic tech ic =
+  if ic <= 0.0 then invalid_arg "Ekv.gm_over_id_of_ic: non-positive IC";
+  1.0 /. (tech.n *. tech.ut *. (0.5 +. sqrt (0.25 +. ic)))
+
+let max_gm_over_id tech = 1.0 /. (tech.n *. tech.ut)
+
+let ic_of_gm_over_id tech gmid =
+  if gmid <= 0.0 || gmid >= max_gm_over_id tech then
+    invalid_arg "Ekv.ic_of_gm_over_id: gm/Id outside achievable range";
+  let k = 1.0 /. (gmid *. tech.n *. tech.ut) in
+  ((k -. 0.5) ** 2.0) -. 0.25
+
+type device = {
+  ic : float;
+  w_um : float;
+  l_um : float;
+  id_a : float;
+  gm_s : float;
+  gm_over_id : float;
+  ro_ohm : float;
+  cgs_f : float;
+  cgd_f : float;
+  ft_hz : float;
+}
+
+let size_device tech ~gm ~gm_over_id ~l_um =
+  if gm <= 0.0 then invalid_arg "Ekv.size_device: non-positive gm";
+  if l_um <= 0.0 then invalid_arg "Ekv.size_device: non-positive length";
+  let ic = ic_of_gm_over_id tech gm_over_id in
+  let id = gm /. gm_over_id in
+  let w_over_l = id /. (tech.i0 *. ic) in
+  let w_um = w_over_l *. l_um in
+  let cgs = (2.0 /. 3.0 *. w_um *. l_um *. tech.cox) +. (tech.cov *. w_um) in
+  let cgd = tech.cov *. w_um in
+  let ro = tech.va_per_um *. l_um /. id in
+  let ft = gm /. (2.0 *. Float.pi *. (cgs +. cgd)) in
+  { ic; w_um; l_um; id_a = id; gm_s = gm; gm_over_id; ro_ohm = ro; cgs_f = cgs; cgd_f = cgd; ft_hz = ft }

@@ -1,0 +1,46 @@
+(** Simplified all-region EKV MOSFET model.
+
+    Stands in for foundry device data: it links the inversion coefficient
+    [IC] to the gm/Id ratio, current density, transit frequency and
+    intrinsic gain — the quantities the gm/id sizing methodology needs.
+    Equations follow the standard EKV interpolation
+    [gm/Id = 1 / (n Ut (0.5 + sqrt(0.25 + IC)))]. *)
+
+type tech = {
+  n : float;  (** subthreshold slope factor *)
+  ut : float;  (** thermal voltage, V *)
+  i0 : float;  (** technology current [2 n mu Cox Ut^2], A *)
+  cox : float;  (** gate capacitance density, F/um^2 *)
+  cov : float;  (** overlap capacitance per width, F/um *)
+  va_per_um : float;  (** Early voltage per unit length, V/um *)
+}
+
+val default_tech : tech
+(** A generic 180nm-class technology. *)
+
+val gm_over_id_of_ic : tech -> float -> float
+(** gm/Id (S/A) at inversion coefficient [IC > 0]. *)
+
+val ic_of_gm_over_id : tech -> float -> float
+(** Inverse of {!gm_over_id_of_ic}.
+    @raise Invalid_argument when gm/Id is outside the achievable range. *)
+
+val max_gm_over_id : tech -> float
+(** The weak-inversion limit [1/(n Ut)]. *)
+
+type device = {
+  ic : float;
+  w_um : float;
+  l_um : float;
+  id_a : float;
+  gm_s : float;
+  gm_over_id : float;
+  ro_ohm : float;
+  cgs_f : float;
+  cgd_f : float;
+  ft_hz : float;
+}
+
+val size_device : tech -> gm:float -> gm_over_id:float -> l_um:float -> device
+(** Dimension a device delivering transconductance [gm] at the requested
+    inversion level with channel length [l_um]. *)

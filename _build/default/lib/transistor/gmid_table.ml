@@ -1,0 +1,62 @@
+type row = {
+  ic : float;
+  gm_over_id : float;
+  current_density : float;
+  ft_hz : float;
+  self_gain : float;
+}
+
+type t = { rows : row array; l_um : float; tech : Ekv.tech }
+
+let generate ?(points = 128) ?(l_um = 0.5) tech =
+  if points < 2 then invalid_arg "Gmid_table.generate: need at least 2 points";
+  let ic_lo = 0.01 and ic_hi = 100.0 in
+  let row i =
+    let frac = float_of_int i /. float_of_int (points - 1) in
+    let ic = ic_lo *. ((ic_hi /. ic_lo) ** frac) in
+    let gmid = Ekv.gm_over_id_of_ic tech ic in
+    (* A unit-gm device at this inversion level carries all the ratios the
+       table needs. *)
+    let d = Ekv.size_device tech ~gm:1e-3 ~gm_over_id:gmid ~l_um in
+    {
+      ic;
+      gm_over_id = gmid;
+      current_density = tech.Ekv.i0 *. ic;
+      ft_hz = d.Ekv.ft_hz;
+      self_gain = d.Ekv.gm_s *. d.Ekv.ro_ohm;
+    }
+  in
+  (* IC ascending means gm/Id descending; store ascending by gm/Id. *)
+  let rows = Array.init points (fun i -> row (points - 1 - i)) in
+  { rows; l_um; tech }
+
+let rows t = Array.copy t.rows
+let l_um t = t.l_um
+let tech t = t.tech
+
+let interpolate a b frac =
+  let lerp x y = x +. (frac *. (y -. x)) in
+  {
+    ic = lerp a.ic b.ic;
+    gm_over_id = lerp a.gm_over_id b.gm_over_id;
+    current_density = lerp a.current_density b.current_density;
+    ft_hz = lerp a.ft_hz b.ft_hz;
+    self_gain = lerp a.self_gain b.self_gain;
+  }
+
+let lookup_by_gm_over_id t gmid =
+  let rows = t.rows in
+  let n = Array.length rows in
+  if gmid <= rows.(0).gm_over_id then rows.(0)
+  else if gmid >= rows.(n - 1).gm_over_id then rows.(n - 1)
+  else begin
+    (* Binary search for the bracketing pair on the ascending gm/Id axis. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if rows.(mid).gm_over_id <= gmid then lo := mid else hi := mid
+    done;
+    let a = rows.(!lo) and b = rows.(!hi) in
+    let frac = (gmid -. a.gm_over_id) /. (b.gm_over_id -. a.gm_over_id) in
+    interpolate a b frac
+  end

@@ -1,0 +1,30 @@
+(** Synthetic gm/id lookup tables.
+
+    The gm/id design methodology replaces analytic device equations with
+    tables swept from simulation; here the tables are generated from the
+    EKV model over a log grid of inversion coefficients, and the mapping
+    layer interpolates them exactly as it would interpolate foundry
+    tables.  Keeping the table indirection (instead of calling {!Ekv}
+    directly) mirrors the structure of the flow in [16]. *)
+
+type row = {
+  ic : float;
+  gm_over_id : float;  (** S/A *)
+  current_density : float;  (** Id / (W/L), A *)
+  ft_hz : float;  (** at l_ref *)
+  self_gain : float;  (** gm * ro *)
+}
+
+type t
+
+val generate : ?points:int -> ?l_um:float -> Ekv.tech -> t
+(** Sweep [IC] log-uniformly over [0.01, 100] (default 128 points) for the
+    reference length [l_um] (default 0.5). *)
+
+val rows : t -> row array
+val l_um : t -> float
+val tech : t -> Ekv.tech
+
+val lookup_by_gm_over_id : t -> float -> row
+(** Linear interpolation along the (monotone) gm/Id axis; clamps at the
+    table edges. *)

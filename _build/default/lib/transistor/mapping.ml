@@ -1,0 +1,72 @@
+module Netlist = Into_circuit.Netlist
+
+type stage_kind = Differential_pair | Common_source
+
+type stage_impl = {
+  instance : Netlist.gm_instance;
+  kind : stage_kind;
+  devices : (string * Ekv.device) list;
+  branch_current_a : float;
+}
+
+let bias_overhead = 1.2
+
+let mirror_gm_over_id = 10.0
+let load_gm_over_id = 8.0
+
+(* The behavioral gm/Id range [5, 25] is inside the EKV achievable range
+   (about 29.8 S/A in this technology), but clamp defensively. *)
+let clamp_gmid table gmid =
+  let tech = Gmid_table.tech table in
+  Float.min (0.95 *. Ekv.max_gm_over_id tech) (Float.max 1.0 gmid)
+
+let size table ~gm ~gm_over_id =
+  let tech = Gmid_table.tech table in
+  let gmid = clamp_gmid table gm_over_id in
+  (* Consult the table like a designer would, then dimension the device at
+     the tabulated inversion level. *)
+  let row = Gmid_table.lookup_by_gm_over_id table gmid in
+  Ekv.size_device tech ~gm ~gm_over_id:row.Gmid_table.gm_over_id
+    ~l_um:(Gmid_table.l_um table)
+
+let map_instance table (inst : Netlist.gm_instance) =
+  let gm = inst.Netlist.gm_value and gmid = inst.Netlist.gm_over_id in
+  if String.equal inst.Netlist.gm_name "stage1" then begin
+    let input = size table ~gm ~gm_over_id:gmid in
+    let mirror_gm = input.Ekv.id_a *. mirror_gm_over_id in
+    let mirror = size table ~gm:mirror_gm ~gm_over_id:mirror_gm_over_id in
+    {
+      instance = inst;
+      kind = Differential_pair;
+      devices = [ ("M1a", input); ("M1b", input); ("M2a", mirror); ("M2b", mirror) ];
+      branch_current_a = 2.0 *. input.Ekv.id_a;
+    }
+  end
+  else begin
+    let driver = size table ~gm ~gm_over_id:gmid in
+    let load_gm = driver.Ekv.id_a *. load_gm_over_id in
+    let load = size table ~gm:load_gm ~gm_over_id:load_gm_over_id in
+    {
+      instance = inst;
+      kind = Common_source;
+      devices = [ ("Md", driver); ("Ml", load) ];
+      branch_current_a = driver.Ekv.id_a;
+    }
+  end
+
+let map_design table (netlist : Netlist.t) =
+  List.map (map_instance table) netlist.Netlist.gms
+
+let supply_current impls =
+  List.fold_left (fun acc s -> acc +. s.branch_current_a) 0.0 impls
+
+let describe s =
+  let dev (name, (d : Ekv.device)) =
+    Printf.sprintf "%s W/L=%.2f/%.2fum" name d.Ekv.w_um d.Ekv.l_um
+  in
+  Printf.sprintf "%-12s %-17s Ibranch=%6.2fuA  %s" s.instance.Netlist.gm_name
+    (match s.kind with
+    | Differential_pair -> "diff-pair+mirror"
+    | Common_source -> "common-source")
+    (s.branch_current_a *. 1e6)
+    (String.concat "  " (List.map dev s.devices))

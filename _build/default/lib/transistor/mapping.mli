@@ -1,0 +1,32 @@
+(** Behavioral-to-transistor mapping (the gm/id method of [16]).
+
+    The amplifier stage connected to [vin] becomes a differential pair with
+    a current-mirror load (two input devices at the stage gm, two mirror
+    devices, a 2x tail current); every other transconductor becomes a
+    common-source amplifier with a current-source load sharing its branch
+    current.  Device dimensions come from the gm/id lookup tables. *)
+
+type stage_kind = Differential_pair | Common_source
+
+type stage_impl = {
+  instance : Into_circuit.Netlist.gm_instance;
+  kind : stage_kind;
+  devices : (string * Ekv.device) list;  (** named devices of the stage *)
+  branch_current_a : float;  (** total supply current of the stage *)
+}
+
+val map_instance :
+  Gmid_table.t -> Into_circuit.Netlist.gm_instance -> stage_impl
+(** The instance named ["stage1"] maps to a differential pair; everything
+    else to a common source stage. *)
+
+val map_design : Gmid_table.t -> Into_circuit.Netlist.t -> stage_impl list
+
+val supply_current : stage_impl list -> float
+(** Sum of branch currents, A. *)
+
+val bias_overhead : float
+(** Multiplicative power overhead of the bias distribution (1.2). *)
+
+val describe : stage_impl -> string
+(** One-line sizing report: devices with W/L in um and bias current. *)

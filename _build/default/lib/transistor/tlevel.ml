@@ -1,0 +1,48 @@
+module Process = Into_circuit.Process
+module Netlist = Into_circuit.Netlist
+module Perf = Into_circuit.Perf
+module Ac = Into_circuit.Ac
+
+type result = {
+  perf : Perf.t;
+  impls : Mapping.stage_impl list;
+  process : Process.t;
+}
+
+let transistor_process tech ~l_um =
+  {
+    Process.behavioral with
+    (* The L = 0.5 um devices deliver the behavioral-level Early voltage
+       (the gm/id mapping targets it), so DC gain survives extraction ... *)
+    Process.va = tech.Ekv.va_per_um *. l_um;
+    (* ... while junction/wiring capacitance, slower extracted devices and
+       drain-gate overlap erode bandwidth and margin ... *)
+    co_floor_f = 12e-15;
+    ft_hz = 0.9 *. Process.behavioral.Process.ft_hz;
+    cross_cap_factor = 0.05;
+    power_overhead = 1.0 (* replaced by the mapped branch currents below *);
+  }
+
+let evaluate ?(tech = Ekv.default_tech) topo ~sizing ~cl_f =
+  let table = Gmid_table.generate tech in
+  let process = transistor_process tech ~l_um:(Gmid_table.l_um table) in
+  let netlist = Netlist.build ~process topo ~sizing ~cl_f in
+  let impls = Mapping.map_design table netlist in
+  let power_w =
+    process.Process.vdd *. Mapping.supply_current impls *. Mapping.bias_overhead
+  in
+  match Ac.analyze netlist with
+  | None -> None
+  | Some ac ->
+    Some
+      {
+        perf =
+          {
+            Perf.gain_db = ac.Ac.gain_db;
+            gbw_hz = ac.Ac.gbw_hz;
+            pm_deg = Perf.stability_checked_pm netlist ac.Ac.pm_deg;
+            power_w;
+          };
+        impls;
+        process;
+      }

@@ -1,0 +1,27 @@
+(** Transistor-level re-evaluation of a behavioral design (Section IV-D).
+
+    The design is mapped to transistors with the gm/id method, then
+    re-simulated under a degraded process reflecting extraction reality:
+    current-source loads halve the output resistance, junction/wiring
+    capacitance raises the parasitic floor, Cgd adds Miller coupling across
+    each stage, and the bias network burns extra power.  Power is recomputed
+    from the mapped branch currents (a differential first stage doubles its
+    current), so — as in Table V — FoM typically drops while well-designed
+    behavioral op-amps still meet their specs. *)
+
+type result = {
+  perf : Into_circuit.Perf.t;
+  impls : Mapping.stage_impl list;
+  process : Into_circuit.Process.t;
+}
+
+val transistor_process : Ekv.tech -> l_um:float -> Into_circuit.Process.t
+(** The degraded process derived from the technology parameters. *)
+
+val evaluate :
+  ?tech:Ekv.tech ->
+  Into_circuit.Topology.t ->
+  sizing:float array ->
+  cl_f:float ->
+  result option
+(** [None] when the transistor-level simulation fails. *)

@@ -1,0 +1,60 @@
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+let plot ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ?(log_x = false)
+    series =
+  let clean =
+    List.map
+      (fun (name, pts) ->
+        let pts = List.filter finite pts in
+        let pts = if log_x then List.filter (fun (x, _) -> x > 0.0) pts else pts in
+        (name, List.map (fun (x, y) -> ((if log_x then log10 x else x), y)) pts))
+      series
+  in
+  let all = List.concat_map snd clean in
+  match all with
+  | [] -> "(no data)"
+  | _ ->
+    let xs = List.map fst all and ys = List.map snd all in
+    let x_lo, x_hi = Stats.min_max xs and y_lo, y_hi = Stats.min_max ys in
+    let x_span = if x_hi -. x_lo < 1e-12 then 1.0 else x_hi -. x_lo in
+    let y_span = if y_hi -. y_lo < 1e-12 then 1.0 else y_hi -. y_lo in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun k (_, pts) ->
+        let mark = markers.(k mod Array.length markers) in
+        List.iter
+          (fun (x, y) ->
+            let col =
+              int_of_float (Float.round ((x -. x_lo) /. x_span *. float_of_int (width - 1)))
+            in
+            let row =
+              height - 1
+              - int_of_float
+                  (Float.round ((y -. y_lo) /. y_span *. float_of_int (height - 1)))
+            in
+            if row >= 0 && row < height && col >= 0 && col < width then
+              grid.(row).(col) <- mark)
+          pts)
+      clean;
+    let buf = Buffer.create ((width + 4) * (height + 4)) in
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "  %s: %.3g .. %.3g%s   %s: %.3g .. %.3g\n" x_label
+         (if log_x then 10.0 ** x_lo else x_lo)
+         (if log_x then 10.0 ** x_hi else x_hi)
+         (if log_x then " (log)" else "")
+         y_label y_lo y_hi);
+    List.iteri
+      (fun k (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" markers.(k mod Array.length markers) name))
+      clean;
+    Buffer.contents buf

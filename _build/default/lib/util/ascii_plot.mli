@@ -1,0 +1,15 @@
+(** Minimal ASCII line plots for terminal reports (Fig. 5 curves, Bode
+    magnitude, step responses). *)
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?log_x:bool ->
+  (string * (float * float) list) list ->
+  string
+(** [plot series] renders the series (name, points) into a character grid
+    (default 72x20).  Each series uses its own marker; a legend and axis
+    ranges are appended.  Series with fewer than one point, NaNs and
+    non-positive x under [log_x] are skipped. *)

@@ -1,0 +1,56 @@
+type t = { gen : Splitmix.t; mutable spare : float option }
+
+let create ~seed = { gen = Splitmix.create seed; spare = None }
+
+let split t = { gen = Splitmix.split t.gen; spare = None }
+
+let float t = Splitmix.float t.gen
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let log_uniform t ~lo ~hi =
+  assert (lo > 0.0 && hi >= lo);
+  exp (uniform t ~lo:(log lo) ~hi:(log hi))
+
+let int t n = Splitmix.int t.gen n
+
+let bool t = Splitmix.bool t.gen
+
+let gaussian t =
+  match t.spare with
+  | Some z ->
+    t.spare <- None;
+    z
+  | None ->
+    let rec draw () =
+      let u = (2.0 *. float t) -. 1.0 and v = (2.0 *. float t) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then draw ()
+      else
+        let m = sqrt (-2.0 *. log s /. s) in
+        t.spare <- Some (v *. m);
+        u *. m
+    in
+    draw ()
+
+let choice t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let choice_list t = function
+  | [] -> invalid_arg "Rng.choice_list: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct t k n =
+  let k = min k n in
+  let idx = Array.init n (fun i -> i) in
+  shuffle t idx;
+  Array.to_list (Array.sub idx 0 k)

@@ -1,0 +1,42 @@
+(** High-level random sampling on top of {!Splitmix}.
+
+    All stochastic components of the project (initial designs, candidate
+    mutation, acquisition optimization, baselines) draw from a [Rng.t], so a
+    run is a pure function of its seed. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator from an integer seed. *)
+
+val split : t -> t
+(** Independent sub-stream; use one stream per run / per component. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). *)
+
+val log_uniform : t -> lo:float -> hi:float -> float
+(** Log-uniform in [lo, hi); requires [0 < lo <= hi]. *)
+
+val int : t -> int -> int
+(** Uniform in [0, n-1]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal via Box-Muller. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choice_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_distinct : t -> int -> int -> int list
+(** [sample_distinct t k n] draws [min k n] distinct integers from [0, n-1]. *)

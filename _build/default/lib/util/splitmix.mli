@@ -1,0 +1,30 @@
+(** SplitMix64: a small, fast, splittable pseudo-random number generator.
+
+    Used as the single source of randomness in the whole project so that
+    every experiment is reproducible from an integer seed, independently of
+    the OCaml stdlib [Random] state.  The generator follows Steele, Lea and
+    Flood, "Fast splittable pseudorandom number generators" (OOPSLA 2014). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val split : t -> t
+(** [split t] forks an independent generator stream; [t] advances. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n-1]. Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val copy : t -> t
+(** Duplicate the current state (same future outputs). *)

@@ -1,0 +1,106 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let std = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let sorted xs = List.sort compare xs
+
+let percentile p = function
+  | [] -> 0.0
+  | xs ->
+    let a = Array.of_list (sorted xs) in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let median xs = percentile 50.0 xs
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let normalize xs =
+  let l = Array.to_list xs in
+  let mu = mean l in
+  let sigma =
+    let s = std l in
+    if s < 1e-12 then 1.0 else s
+  in
+  (Array.map (fun x -> (x -. mu) /. sigma) xs, mu, sigma)
+
+let pearson xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let mx = mean (Array.to_list xs) and my = mean (Array.to_list ys) in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx < 1e-300 || !syy < 1e-300 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+(* Fractional ranks: ties share the average of their positions. *)
+let ranks xs =
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare xs.(a) xs.(b)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && xs.(order.(!j + 1)) = xs.(order.(!i)) do
+      incr j
+    done;
+    let avg = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+         -. 0.284496736)
+        *. t
+       +. 0.254829592)
+       *. t
+       *. exp (-.x *. x)
+  in
+  sign *. y
+
+let normal_cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+
+let normal_pdf x = exp (-0.5 *. x *. x) /. sqrt (2.0 *. Float.pi)

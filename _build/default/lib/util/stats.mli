@@ -1,0 +1,39 @@
+(** Summary statistics used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val std : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than 2 points. *)
+
+val median : float list -> float
+(** Median; 0 for the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0, 100], linear interpolation. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element; raises [Invalid_argument] on []. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values; 0 for the empty list. *)
+
+val normalize : float array -> float array * float * float
+(** [normalize xs] returns [(zs, mu, sigma)] with [zs.(i) = (xs.(i)-mu)/sigma];
+    [sigma] is forced to 1 when the data is constant. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient; 0 when either side is constant.
+    @raise Invalid_argument on length mismatch. *)
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation (fractional ranks for ties). *)
+
+val erf : float -> float
+(** Error function (Abramowitz & Stegun 7.1.26, |error| < 1.5e-7). *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF. *)
+
+val normal_pdf : float -> float
+(** Standard normal density. *)

@@ -1,0 +1,41 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ | None ->
+      Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let all = header :: rows in
+  let widths = Array.make ncols 0 in
+  let note_row r =
+    List.iteri (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell)) r
+  in
+  List.iter note_row all;
+  let line r =
+    let cells =
+      List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) r
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let fmt_sci x = Printf.sprintf "%.3g" x
+
+let fmt_ratio x = Printf.sprintf "%.2fx" x

@@ -1,0 +1,17 @@
+(** Minimal ASCII table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out in fixed-width columns separated
+    by two spaces, with a dashed rule under the header.  [align] gives the
+    per-column alignment (default: first column left, rest right). *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point formatting with [digits] decimals (default 2). *)
+
+val fmt_sci : float -> string
+(** Scientific notation with 3 significant digits. *)
+
+val fmt_ratio : float -> string
+(** Formats a speedup ratio as e.g. ["3.20x"]. *)

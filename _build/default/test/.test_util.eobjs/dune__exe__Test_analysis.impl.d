@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Complex Float Into_circuit Into_core Into_util Lazy List QCheck QCheck_alcotest String

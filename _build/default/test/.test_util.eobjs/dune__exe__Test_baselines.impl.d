@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Float Into_baselines Into_circuit Into_core Into_util List Option QCheck QCheck_alcotest

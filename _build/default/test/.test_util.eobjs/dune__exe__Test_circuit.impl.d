@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Complex Float Into_circuit Into_util List Printf QCheck QCheck_alcotest String

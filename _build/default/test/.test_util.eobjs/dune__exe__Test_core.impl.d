@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl Into_circuit Into_core Into_util List Option QCheck QCheck_alcotest String

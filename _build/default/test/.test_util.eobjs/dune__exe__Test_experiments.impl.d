@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float Hashtbl Into_circuit Into_core Into_experiments Into_util Lazy List Option String Unix

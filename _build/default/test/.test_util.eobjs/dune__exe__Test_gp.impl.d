@@ -1,0 +1,1 @@
+test/test_gp.ml: Alcotest Array Into_circuit Into_gp Into_graph Into_linalg Into_util List Printf QCheck QCheck_alcotest

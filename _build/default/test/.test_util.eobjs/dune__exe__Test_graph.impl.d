@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Into_circuit Into_graph Into_linalg Into_util List QCheck QCheck_alcotest

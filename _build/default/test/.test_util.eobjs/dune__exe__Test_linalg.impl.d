@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Float Gen Into_linalg List Printf QCheck QCheck_alcotest

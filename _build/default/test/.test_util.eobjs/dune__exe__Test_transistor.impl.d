@@ -1,0 +1,1 @@
+test/test_transistor.ml: Alcotest Array Float Into_circuit Into_transistor List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Into_util List QCheck QCheck_alcotest String

@@ -1,0 +1,132 @@
+(* Tests for Into_baselines: the FE-GA genetic baseline and the VGAE-BO
+   embedding baseline. *)
+
+module Fe_ga = Into_baselines.Fe_ga
+module Embedding = Into_baselines.Embedding
+module Vgae_bo = Into_baselines.Vgae_bo
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+module Spec = Into_circuit.Spec
+module Sizing = Into_core.Sizing
+module Topo_bo = Into_core.Topo_bo
+module Evaluator = Into_core.Evaluator
+module Rng = Into_util.Rng
+
+let small_sizing = { Sizing.default_config with Sizing.n_init = 5; n_iter = 5; n_candidates = 20 }
+
+(* --- crossover --- *)
+
+let prop_crossover_inherits_slots =
+  QCheck.Test.make ~name:"crossover takes every slot from a parent" ~count:200
+    QCheck.(triple small_int (int_range 0 (Topology.space_size - 1)) (int_range 0 (Topology.space_size - 1)))
+    (fun (seed, ia, ib) ->
+      let rng = Rng.create ~seed in
+      let a = Topology.of_index ia and b = Topology.of_index ib in
+      let child = Fe_ga.crossover rng a b in
+      List.for_all
+        (fun slot ->
+          let c = Topology.get child slot in
+          Subcircuit.equal c (Topology.get a slot) || Subcircuit.equal c (Topology.get b slot))
+        Topology.slots)
+
+let test_crossover_identical_parents () =
+  let rng = Rng.create ~seed:1 in
+  let a = Topology.nmc () in
+  Alcotest.(check bool) "clone of identical parents" true
+    (Topology.equal (Fe_ga.crossover rng a a) a)
+
+(* --- FE-GA --- *)
+
+let test_fe_ga_run () =
+  let rng = Rng.create ~seed:11 in
+  let config =
+    { Fe_ga.default_config with Fe_ga.population = 4; iterations = 6; sizing = small_sizing }
+  in
+  let r = Fe_ga.run ~config ~rng ~spec:Spec.s1 () in
+  Alcotest.(check int) "one step per evaluation" 10 (List.length r.Fe_ga.steps);
+  Alcotest.(check int) "sims accounted" (10 * 10) r.Fe_ga.total_sims;
+  (* The trace never revisits a topology. *)
+  let idxs =
+    List.filter_map
+      (fun (s : Topo_bo.step) ->
+        Option.map
+          (fun (e : Evaluator.evaluation) -> Topology.to_index e.Evaluator.topology)
+          s.Topo_bo.evaluation)
+      r.Fe_ga.steps
+  in
+  Alcotest.(check int) "no revisits" (List.length idxs)
+    (List.length (List.sort_uniq compare idxs));
+  match r.Fe_ga.best with
+  | None -> ()
+  | Some e -> Alcotest.(check bool) "best is feasible" true e.Evaluator.feasible
+
+(* --- Embedding --- *)
+
+let test_embedding_dims () =
+  Alcotest.(check int) "one-hot dimension 49" 49 Embedding.one_hot_dim;
+  Alcotest.(check int) "latent dimension" 8 Embedding.dim;
+  Alcotest.(check int) "embed length" Embedding.dim
+    (Array.length (Embedding.embed (Topology.nmc ())))
+
+let prop_one_hot_is_indicator =
+  QCheck.Test.make ~name:"one-hot has exactly one 1 per slot" ~count:200
+    QCheck.(int_range 0 (Topology.space_size - 1))
+    (fun idx ->
+      let v = Embedding.one_hot (Topology.of_index idx) in
+      Array.length v = Embedding.one_hot_dim
+      && Float.abs (Array.fold_left ( +. ) 0.0 v -. 5.0) < 1e-12
+      && Array.for_all (fun x -> x = 0.0 || x = 1.0) v)
+
+let test_embedding_deterministic () =
+  let t = Topology.nmc () in
+  Alcotest.(check (array (float 1e-15))) "same embedding across calls"
+    (Embedding.embed t) (Embedding.embed t)
+
+let prop_embedding_mostly_injective =
+  QCheck.Test.make ~name:"different topologies embed differently" ~count:100
+    QCheck.(pair (int_range 0 (Topology.space_size - 1)) (int_range 0 (Topology.space_size - 1)))
+    (fun (ia, ib) ->
+      QCheck.assume (ia <> ib);
+      let ea = Embedding.embed (Topology.of_index ia) in
+      let eb = Embedding.embed (Topology.of_index ib) in
+      Array.exists2 (fun a b -> Float.abs (a -. b) > 1e-9) ea eb)
+
+(* --- VGAE-BO --- *)
+
+let test_vgae_bo_run () =
+  let rng = Rng.create ~seed:21 in
+  let config =
+    {
+      Vgae_bo.default_config with
+      Vgae_bo.n_init = 3;
+      iterations = 5;
+      pool = 30;
+      sizing = small_sizing;
+    }
+  in
+  let r = Vgae_bo.run ~config ~rng ~spec:Spec.s1 () in
+  Alcotest.(check int) "one step per evaluation" 8 (List.length r.Vgae_bo.steps);
+  Alcotest.(check int) "sims accounted" (8 * 10) r.Vgae_bo.total_sims;
+  let sims =
+    List.map (fun (s : Topo_bo.step) -> s.Topo_bo.cumulative_sims) r.Vgae_bo.steps
+  in
+  Alcotest.(check bool) "monotone budget" true (List.sort compare sims = sims)
+
+let () =
+  Alcotest.run "into_baselines"
+    [
+      ( "crossover",
+        [
+          Alcotest.test_case "identical parents" `Quick test_crossover_identical_parents;
+          QCheck_alcotest.to_alcotest prop_crossover_inherits_slots;
+        ] );
+      ("fe_ga", [ Alcotest.test_case "run bookkeeping" `Quick test_fe_ga_run ]);
+      ( "embedding",
+        [
+          Alcotest.test_case "dimensions" `Quick test_embedding_dims;
+          Alcotest.test_case "deterministic" `Quick test_embedding_deterministic;
+          QCheck_alcotest.to_alcotest prop_one_hot_is_indicator;
+          QCheck_alcotest.to_alcotest prop_embedding_mostly_injective;
+        ] );
+      ("vgae_bo", [ Alcotest.test_case "run bookkeeping" `Quick test_vgae_bo_run ]);
+    ]

@@ -1,0 +1,282 @@
+(* Unit and property tests for Into_util: PRNG, sampling, statistics and
+   table rendering. *)
+
+module Rng = Into_util.Rng
+module Splitmix = Into_util.Splitmix
+module Stats = Into_util.Stats
+module Table = Into_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+
+(* --- Splitmix --- *)
+
+let test_determinism () =
+  let a = Splitmix.create 42 and b = Splitmix.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next_int64 a) (Splitmix.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Splitmix.create 1 and b = Splitmix.create 2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Splitmix.next_int64 a <> Splitmix.next_int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "streams differ" true !distinct
+
+let test_split_independence () =
+  let parent = Splitmix.create 7 in
+  let child = Splitmix.split parent in
+  let c1 = Splitmix.next_int64 child and p1 = Splitmix.next_int64 parent in
+  Alcotest.(check bool) "child differs from parent" true (c1 <> p1)
+
+let test_copy () =
+  let a = Splitmix.create 9 in
+  ignore (Splitmix.next_int64 a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copy continues identically" (Splitmix.next_int64 a)
+    (Splitmix.next_int64 b)
+
+let test_float_range () =
+  let g = Splitmix.create 3 in
+  for _ = 1 to 1000 do
+    let f = Splitmix.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_int_range () =
+  let g = Splitmix.create 4 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int g 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+(* --- Rng --- *)
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng) in
+  check_close 0.05 "mean near 0" 0.0 (Stats.mean xs);
+  check_close 0.05 "std near 1" 1.0 (Stats.std xs)
+
+let test_log_uniform () =
+  let rng = Rng.create ~seed:12 in
+  for _ = 1 to 200 do
+    let v = Rng.log_uniform rng ~lo:1e-6 ~hi:1e-2 in
+    Alcotest.(check bool) "in range" true (v >= 1e-6 && v <= 1e-2)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_sample_distinct () =
+  let rng = Rng.create ~seed:14 in
+  let s = Rng.sample_distinct rng 10 100 in
+  Alcotest.(check int) "ten values" 10 (List.length s);
+  Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+  let s2 = Rng.sample_distinct rng 10 5 in
+  Alcotest.(check int) "clamped to population" 5 (List.length s2)
+
+let test_choice () =
+  let rng = Rng.create ~seed:15 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.choice rng a) a)
+  done;
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.choice_list: empty list")
+    (fun () -> ignore (Rng.choice_list rng []))
+
+(* --- Stats --- *)
+
+let test_mean_std () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean []);
+  check_float "std" 1.0 (Stats.std [ 1.0; 2.0; 3.0 ]);
+  check_float "std singleton" 0.0 (Stats.std [ 5.0 ])
+
+let test_median_percentile () =
+  check_float "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  check_float "median even" 1.5 (Stats.median [ 1.0; 2.0 ]);
+  check_float "p0" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "p100" 3.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  check_float "p50 interpolated" 2.0 (Stats.percentile 50.0 [ 1.0; 2.0; 3.0 ])
+
+let test_min_max_geomean () =
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  check_float "min" 1.0 lo;
+  check_float "max" 3.0 hi;
+  check_close 1e-9 "geometric mean" 2.0 (Stats.geometric_mean [ 1.0; 2.0; 4.0; 2.0 ])
+
+let test_normalize () =
+  let z, mu, sigma = Stats.normalize [| 2.0; 4.0; 6.0 |] in
+  check_float "mu" 4.0 mu;
+  check_float "sigma" 2.0 sigma;
+  check_float "z0" (-1.0) z.(0);
+  let z2, _, sigma2 = Stats.normalize [| 5.0; 5.0 |] in
+  check_float "constant data sigma forced to 1" 1.0 sigma2;
+  check_float "constant data centered" 0.0 z2.(0)
+
+let test_erf_cdf () =
+  check_close 1e-6 "erf 0" 0.0 (Stats.erf 0.0);
+  check_close 1e-5 "erf 1" 0.8427008 (Stats.erf 1.0);
+  check_close 1e-9 "odd function" 0.0 (Stats.erf 0.7 +. Stats.erf (-0.7));
+  check_close 1e-9 "cdf 0" 0.5 (Stats.normal_cdf 0.0);
+  check_close 1e-4 "cdf 1.96" 0.975 (Stats.normal_cdf 1.96);
+  check_close 1e-9 "pdf peak" (1.0 /. sqrt (2.0 *. Float.pi)) (Stats.normal_pdf 0.0)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "xxx"; "1" ]; [ "y"; "22" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "four lines" 4 (List.length lines);
+  List.iter
+    (fun l -> Alcotest.(check int) "equal width" (String.length (List.nth lines 0)) (String.length l))
+    lines
+
+let test_table_formats () =
+  Alcotest.(check string) "float" "3.14" (Table.fmt_float 3.14159);
+  Alcotest.(check string) "digits" "3.1416" (Table.fmt_float ~digits:4 3.14159);
+  Alcotest.(check string) "ratio" "2.50x" (Table.fmt_ratio 2.5)
+
+(* --- properties --- *)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile stays within data bounds" ~count:200
+    QCheck.(pair (float_range 0.0 100.0) (list_of_size (Gen.int_range 1 20) (float_range (-100.) 100.)))
+    (fun (p, xs) ->
+      let v = Stats.percentile p xs in
+      let lo, hi = Stats.min_max xs in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_normalize_standardizes =
+  QCheck.Test.make ~name:"normalize yields zero mean unit std" ~count:100
+    QCheck.(list_of_size (Gen.int_range 3 30) (float_range (-1000.) 1000.))
+    (fun xs ->
+      QCheck.assume (Stats.std xs > 1e-6);
+      let z, _, _ = Stats.normalize (Array.of_list xs) in
+      let zl = Array.to_list z in
+      Float.abs (Stats.mean zl) < 1e-6 && Float.abs (Stats.std zl -. 1.0) < 1e-6)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"normal cdf is monotone" ~count:200
+    QCheck.(pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Stats.normal_cdf lo <= Stats.normal_cdf hi +. 1e-12)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int respects bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+
+let test_pearson_spearman () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_close 1e-9 "perfect linear" 1.0 (Stats.pearson x [| 2.0; 4.0; 6.0; 8.0 |]);
+  check_close 1e-9 "perfect inverse" (-1.0) (Stats.pearson x [| 8.0; 6.0; 4.0; 2.0 |]);
+  check_close 1e-9 "constant side" 0.0 (Stats.pearson x [| 5.0; 5.0; 5.0; 5.0 |]);
+  (* Spearman sees through monotone nonlinearity. *)
+  check_close 1e-9 "monotone nonlinear" 1.0 (Stats.spearman x [| 1.0; 8.0; 27.0; 64.0 |]);
+  check_close 1e-9 "anti-monotone" (-1.0) (Stats.spearman x [| 0.0; -1.0; -5.0; -9.0 |])
+
+let prop_correlation_bounded =
+  QCheck.Test.make ~name:"correlations live in [-1, 1]" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 2 15) (float_range (-10.) 10.))
+              (list_of_size (Gen.int_range 2 15) (float_range (-10.) 10.)))
+    (fun (a, b) ->
+      let n = min (List.length a) (List.length b) in
+      QCheck.assume (n >= 2);
+      let take l = Array.of_list (List.filteri (fun i _ -> i < n) l) in
+      let p = Stats.pearson (take a) (take b) and s = Stats.spearman (take a) (take b) in
+      Float.abs p <= 1.0 +. 1e-9 && Float.abs s <= 1.0 +. 1e-9)
+
+(* --- Ascii_plot --- *)
+
+let test_plot_renders () =
+  let s =
+    Into_util.Ascii_plot.plot ~width:30 ~height:8
+      [ ("a", [ (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) ]); ("b", [ (0.0, 4.0); (2.0, 0.0) ]) ]
+  in
+  Alcotest.(check bool) "marker a present" true (String.contains s '*');
+  Alcotest.(check bool) "marker b present" true (String.contains s '+');
+  Alcotest.(check bool) "legend present" true
+    (List.exists (fun l -> l = "  * a") (String.split_on_char '\n' s))
+
+let test_plot_empty () =
+  Alcotest.(check string) "no data" "(no data)" (Into_util.Ascii_plot.plot []);
+  Alcotest.(check string) "nan filtered" "(no data)"
+    (Into_util.Ascii_plot.plot [ ("x", [ (Float.nan, 1.0) ]) ])
+
+let test_plot_log_x () =
+  let s =
+    Into_util.Ascii_plot.plot ~log_x:true
+      [ ("curve", [ (-1.0, 5.0); (1.0, 0.0); (1e6, 1.0) ]) ]
+  in
+  (* The negative-x point is dropped, the range annotation shows the decade span. *)
+  Alcotest.(check bool) "log annotation" true
+    (let rec contains i =
+       i + 5 <= String.length s && (String.sub s i 5 = "(log)" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "into_util"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_split_independence;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "int range" `Quick test_int_range;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "log uniform" `Quick test_log_uniform;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "choice" `Quick test_choice;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/std" `Quick test_mean_std;
+          Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+          Alcotest.test_case "min-max/geomean" `Quick test_min_max_geomean;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "erf/cdf/pdf" `Quick test_erf_cdf;
+          Alcotest.test_case "pearson/spearman" `Quick test_pearson_spearman;
+          QCheck_alcotest.to_alcotest prop_correlation_bounded;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "ascii_plot",
+        [
+          Alcotest.test_case "renders series" `Quick test_plot_renders;
+          Alcotest.test_case "empty input" `Quick test_plot_empty;
+          Alcotest.test_case "log axis" `Quick test_plot_log_x;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_percentile_bounded;
+            prop_normalize_standardizes;
+            prop_cdf_monotone;
+            prop_rng_int_range;
+          ] );
+    ]
