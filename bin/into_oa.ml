@@ -4,6 +4,7 @@
      specs      - print the Table I specification sets
      optimize   - run a topology-optimization method on a spec
      evaluate   - size and report one topology (by design-space index)
+     lint       - static verification: one topology, or the whole space
      refine     - refine the C1/C2 legacy designs for S-5
      tables     - regenerate the paper's tables (thin wrapper over the
                   experiment harness; see also bench/main.exe)                *)
@@ -71,12 +72,17 @@ let optimize method_id spec seed iterations pool verbose =
           (match s.Into_core.Topo_bo.best_fom_so_far with
           | Some f -> Printf.sprintf "%10.1f" f
           | None -> "         -")
-          (match s.Into_core.Topo_bo.evaluation with
-          | Some e -> Topology.to_string e.Into_core.Evaluator.topology
-          | None -> "(simulation failure)"))
+          (match (s.Into_core.Topo_bo.evaluation, s.Into_core.Topo_bo.rejection) with
+          | Some e, _ -> Topology.to_string e.Into_core.Evaluator.topology
+          | None, [] -> "(simulation failure)"
+          | None, d :: _ ->
+            Printf.sprintf "(rejected: %s)" (Into_analysis.Diagnostic.to_string d)))
       trace.Methods.steps;
-  Printf.printf "%s on %s: %d simulations\n" (Methods.name method_id) spec.Spec.name
+  Printf.printf "%s on %s: %d simulations" (Methods.name method_id) spec.Spec.name
     trace.Methods.total_sims;
+  if trace.Methods.rejections > 0 then
+    Printf.printf ", %d candidates rejected by the static gate" trace.Methods.rejections;
+  print_newline ();
   match trace.Methods.best with
   | None -> print_endline "No feasible design found."
   | Some e ->
@@ -118,6 +124,61 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Size one topology (by index) for a specification.")
     Term.(const evaluate $ index_arg $ spec_arg $ seed_arg)
+
+(* --- lint --- *)
+
+let lint all codes index spec =
+  let module Diagnostic = Into_analysis.Diagnostic in
+  if codes then begin
+    List.iter
+      (fun code ->
+        Printf.printf "%s  %-7s  %s\n" (Diagnostic.code_id code)
+          (Diagnostic.severity_name (Diagnostic.severity_of_code code))
+          (Diagnostic.describe_code code))
+      Diagnostic.all_codes;
+    exit 0
+  end;
+  if all then begin
+    let report = Into_analysis.Sweep.run ~cl_f:spec.Spec.cl_f () in
+    print_endline (Into_analysis.Sweep.summary report);
+    exit (if report.Into_analysis.Sweep.errors > 0 then 1 else 0)
+  end;
+  match index with
+  | None ->
+    prerr_endline "lint: pass a design-space INDEX, --all or --codes";
+    exit 2
+  | Some idx ->
+    (match Topology.of_index idx with
+    | exception Invalid_argument _ ->
+      Printf.eprintf "index out of range (0 .. %d)\n" (Topology.space_size - 1);
+      exit 1
+    | topo -> Printf.printf "Topology %d: %s\n" idx (Topology.to_string topo));
+    let diags =
+      Into_analysis.Diagnostic.by_severity
+        (Into_analysis.Sweep.check_index ~cl_f:spec.Spec.cl_f idx)
+    in
+    if diags = [] then print_endline "clean: no diagnostics"
+    else List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+    exit (if Diagnostic.has_errors diags then 1 else 0)
+
+let lint_cmd =
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Lint every topology of the design space (exit 1 on any error).")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ] ~doc:"Print the diagnostic code table and exit.")
+  in
+  let index_arg =
+    Arg.(value & pos 0 (some int) None & info [] ~docv:"INDEX" ~doc:"Design-space index.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static verification: audit topologies and their expanded netlists (floating \
+          nodes, dangling transconductors, malformed values) without running any \
+          simulation.")
+    Term.(const lint $ all_arg $ codes_arg $ index_arg $ spec_arg)
 
 (* --- refine --- *)
 
@@ -215,7 +276,9 @@ let tables seed =
   print_newline ();
   print_endline
     (Into_experiments.Report.table3 campaign
-       ~methods:[ Methods.Fe_ga; Methods.Vgae_bo; Methods.Into_oa ])
+       ~methods:[ Methods.Fe_ga; Methods.Vgae_bo; Methods.Into_oa ]);
+  print_newline ();
+  print_endline (Into_experiments.Report.lint_summary campaign)
 
 let tables_cmd =
   Cmd.v
@@ -229,4 +292,7 @@ let () =
     Cmd.info "into_oa" ~version:"1.0.0"
       ~doc:"Interpretable topology optimization for operational amplifiers."
   in
-  exit (Cmd.eval (Cmd.group info [ specs_cmd; optimize_cmd; evaluate_cmd; analyze_cmd; refine_cmd; tables_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ specs_cmd; optimize_cmd; evaluate_cmd; analyze_cmd; lint_cmd; refine_cmd; tables_cmd ]))

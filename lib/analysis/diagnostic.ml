@@ -1,0 +1,90 @@
+type severity = Error | Warning | Info
+
+type code =
+  | Floating_node
+  | Dangling_vccs_ctrl
+  | Dangling_vccs_out
+  | No_signal_path
+  | Node_out_of_range
+  | Non_finite_value
+  | Nonpositive_value
+  | Duplicate_gm_name
+  | Index_mismatch
+  | Rule_violation
+  | Build_failure
+  | Zero_value
+  | Dead_element
+  | No_compensation
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  subject : string option;
+}
+
+let code_id = function
+  | Floating_node -> "E101"
+  | Dangling_vccs_ctrl -> "E102"
+  | Dangling_vccs_out -> "E103"
+  | No_signal_path -> "E104"
+  | Node_out_of_range -> "E105"
+  | Non_finite_value -> "E106"
+  | Nonpositive_value -> "E107"
+  | Duplicate_gm_name -> "E108"
+  | Index_mismatch -> "E109"
+  | Rule_violation -> "E110"
+  | Build_failure -> "E111"
+  | Zero_value -> "W201"
+  | Dead_element -> "W202"
+  | No_compensation -> "I301"
+
+let severity_of_code = function
+  | Floating_node | Dangling_vccs_ctrl | Dangling_vccs_out | No_signal_path
+  | Node_out_of_range | Non_finite_value | Nonpositive_value | Duplicate_gm_name
+  | Index_mismatch | Rule_violation | Build_failure ->
+    Error
+  | Zero_value | Dead_element -> Warning
+  | No_compensation -> Info
+
+let describe_code = function
+  | Floating_node -> "node has no DC conductive path to ground or the input source"
+  | Dangling_vccs_ctrl -> "VCCS control node is driven by no element (empty MNA row)"
+  | Dangling_vccs_out -> "VCCS output node carries no admittance (singular MNA)"
+  | No_signal_path -> "vout is unreachable from vin through the element graph"
+  | Node_out_of_range -> "node index outside [0, n_unknowns)"
+  | Non_finite_value -> "element value is NaN or infinite"
+  | Nonpositive_value -> "element value is negative, or zero where a positive value is required"
+  | Duplicate_gm_name -> "two transconductor instances share a name"
+  | Index_mismatch -> "design-space index bijection broken (of_index/to_index disagree)"
+  | Rule_violation -> "subcircuit type is not admissible in its slot (rule set R)"
+  | Build_failure -> "netlist expansion raised instead of producing primitives"
+  | Zero_value -> "zero-valued element contributes nothing to the response"
+  | Dead_element -> "element is structurally unable to affect the response"
+  | No_compensation -> "no compensation or feedforward path bridges the input and output stages"
+
+let all_codes =
+  [
+    Floating_node; Dangling_vccs_ctrl; Dangling_vccs_out; No_signal_path;
+    Node_out_of_range; Non_finite_value; Nonpositive_value; Duplicate_gm_name;
+    Index_mismatch; Rule_violation; Build_failure; Zero_value; Dead_element;
+    No_compensation;
+  ]
+
+let make ?subject code message =
+  { code; severity = severity_of_code code; message; subject }
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let to_string d =
+  let where = match d.subject with None -> "" | Some s -> Printf.sprintf " (at %s)" s in
+  Printf.sprintf "%s %s: %s%s" (code_id d.code) (severity_name d.severity) d.message where
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let by_severity ds =
+  List.stable_sort (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity)) ds

@@ -1,0 +1,60 @@
+(** Typed diagnostics of the static verification layer.
+
+    Every finding of the netlist / topology linters is a {!t}: a stable
+    machine-readable {!code}, a {!severity}, a human message and (when
+    known) the offending element or node.  [Error]-severity diagnostics
+    predict a design that cannot be simulated meaningfully (a structurally
+    singular MNA system, an out-of-range node index, a non-finite element
+    value, ...) and are used by [Into_core.Evaluator] to reject candidates
+    before any LU factorization is attempted. *)
+
+type severity = Error | Warning | Info
+
+type code =
+  | Floating_node  (** E101: node with no DC conductive path to gnd/vin *)
+  | Dangling_vccs_ctrl  (** E102: VCCS senses a node nothing drives *)
+  | Dangling_vccs_out  (** E103: VCCS drives a node with no admittance *)
+  | No_signal_path  (** E104: vout is unreachable from vin *)
+  | Node_out_of_range  (** E105: node index outside [0, n_unknowns) *)
+  | Non_finite_value  (** E106: NaN or infinite element value *)
+  | Nonpositive_value  (** E107: negative (or zero where positive required) *)
+  | Duplicate_gm_name  (** E108: two transconductor instances share a name *)
+  | Index_mismatch  (** E109: to_index/of_index bijection broken *)
+  | Rule_violation  (** E110: subcircuit type not admissible in its slot *)
+  | Build_failure  (** E111: netlist expansion raised *)
+  | Zero_value  (** W201: zero-valued element (dead, but harmless) *)
+  | Dead_element  (** W202: element that cannot affect the response *)
+  | No_compensation  (** I301: no path around the second stage *)
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  subject : string option;  (** offending element / node / slot *)
+}
+
+val code_id : code -> string
+(** Stable identifier, e.g. ["E101"]. *)
+
+val severity_of_code : code -> severity
+(** The canonical severity of each code (the [E]/[W]/[I] prefix). *)
+
+val describe_code : code -> string
+(** One-line description used by the code table ([into_oa lint --codes]). *)
+
+val all_codes : code list
+(** Every code, in identifier order. *)
+
+val make : ?subject:string -> code -> string -> t
+(** [make code message] with the canonical severity of [code]. *)
+
+val severity_name : severity -> string
+val to_string : t -> string
+(** e.g. ["E101 error: node n3 has no DC path to ground (at n3)"]. *)
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+val count : severity -> t list -> int
+
+val by_severity : t list -> t list
+(** Stable sort, most severe first. *)

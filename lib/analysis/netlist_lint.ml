@@ -1,0 +1,286 @@
+module N = Into_circuit.Netlist
+
+let node_name = function
+  | N.Gnd -> "gnd"
+  | N.Vin -> "vin"
+  | N.N 0 -> "v1"
+  | N.N 1 -> "v2"
+  | N.N 2 -> "vout"
+  | N.N k -> Printf.sprintf "n%d" k
+
+let prim_name = function
+  | N.Conductance (a, b, g) ->
+    Printf.sprintf "conductance %s-%s (%g S)" (node_name a) (node_name b) g
+  | N.Capacitance (a, b, c) ->
+    Printf.sprintf "capacitance %s-%s (%g F)" (node_name a) (node_name b) c
+  | N.Series_rc (a, b, r, c) ->
+    Printf.sprintf "series RC %s-%s (%g ohm, %g F)" (node_name a) (node_name b) r c
+  | N.Vccs { ctrl; out; gm; _ } ->
+    Printf.sprintf "VCCS %s->%s (%g S)" (node_name ctrl) (node_name out) gm
+
+let prim_nodes = function
+  | N.Conductance (a, b, _) | N.Capacitance (a, b, _) | N.Series_rc (a, b, _, _) ->
+    [ a; b ]
+  | N.Vccs { ctrl; out; _ } -> [ ctrl; out ]
+
+let is_finite v = Float.is_finite v
+let is_nan v = Float.is_nan v
+
+(* --- node index range --- *)
+
+let check_ranges nl =
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (function
+          | N.N i when i < 0 || i >= nl.N.n_unknowns ->
+            Some
+              (Diagnostic.make ~subject:(prim_name p) Diagnostic.Node_out_of_range
+                 (Printf.sprintf "node index %d outside [0, %d)" i nl.N.n_unknowns))
+          | _ -> None)
+        (prim_nodes p))
+    nl.N.prims
+
+(* --- element values --- *)
+
+let value_diags ~subject ~what v =
+  if not (is_finite v) then
+    [ Diagnostic.make ~subject Diagnostic.Non_finite_value
+        (Printf.sprintf "%s is %g" what v) ]
+  else if v < 0.0 then
+    [ Diagnostic.make ~subject Diagnostic.Nonpositive_value
+        (Printf.sprintf "%s is negative (%g)" what v) ]
+  else if v = 0.0 then
+    [ Diagnostic.make ~subject Diagnostic.Zero_value (Printf.sprintf "%s is zero" what) ]
+  else []
+
+let check_prim_values p =
+  let subject = prim_name p in
+  match p with
+  | N.Conductance (_, _, g) -> value_diags ~subject ~what:"conductance" g
+  | N.Capacitance (_, _, c) -> value_diags ~subject ~what:"capacitance" c
+  | N.Series_rc (_, _, r, c) ->
+    value_diags ~subject ~what:"series resistance" r
+    @ value_diags ~subject ~what:"series capacitance" c
+  | N.Vccs { gm; pole_hz; _ } ->
+    let gm_diags =
+      (* gm is signed: negative values are legitimate inverting stages. *)
+      if not (is_finite gm) then
+        [ Diagnostic.make ~subject Diagnostic.Non_finite_value
+            (Printf.sprintf "transconductance is %g" gm) ]
+      else if gm = 0.0 then
+        [ Diagnostic.make ~subject Diagnostic.Zero_value "transconductance is zero" ]
+      else []
+    in
+    let pole_diags =
+      (* [infinity] is the legitimate "no roll-off" pole; NaN and
+         non-positive poles poison the frequency response. *)
+      if is_nan pole_hz then
+        [ Diagnostic.make ~subject Diagnostic.Non_finite_value "gm pole frequency is NaN" ]
+      else if pole_hz <= 0.0 then
+        [ Diagnostic.make ~subject Diagnostic.Nonpositive_value
+            (Printf.sprintf "gm pole frequency is %g Hz" pole_hz) ]
+      else []
+    in
+    gm_diags @ pole_diags
+
+let check_values nl = List.concat_map check_prim_values nl.N.prims
+
+(* --- transconductor instances --- *)
+
+let check_gm_instances nl =
+  let positive ~subject ~what v =
+    if not (is_finite v) then
+      [ Diagnostic.make ~subject Diagnostic.Non_finite_value
+          (Printf.sprintf "%s is %g" what v) ]
+    else if v <= 0.0 then
+      [ Diagnostic.make ~subject Diagnostic.Nonpositive_value
+          (Printf.sprintf "%s must be positive (got %g)" what v) ]
+    else []
+  in
+  let per_instance (g : N.gm_instance) =
+    let subject = g.N.gm_name in
+    positive ~subject ~what:"gm" g.N.gm_value
+    @ positive ~subject ~what:"gm/Id" g.N.gm_over_id
+    @ positive ~subject ~what:"bias current" g.N.bias_a
+  in
+  let dups =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun (g : N.gm_instance) ->
+        if Hashtbl.mem seen g.N.gm_name then
+          Some
+            (Diagnostic.make ~subject:g.N.gm_name Diagnostic.Duplicate_gm_name
+               (Printf.sprintf "transconductor name %S appears more than once" g.N.gm_name))
+        else begin
+          Hashtbl.add seen g.N.gm_name ();
+          None
+        end)
+      nl.N.gms
+  in
+  List.concat_map per_instance nl.N.gms @ dups
+
+(* --- graph-level checks ---
+
+   Node encoding for the union-find / BFS: 0 is the anchor (gnd and vin
+   share it: both are fixed potentials for DC solvability), unknown i is
+   i+1.  Out-of-range nodes are reported by [check_ranges] and skipped
+   here. *)
+
+let slot_of nl = function
+  | N.Gnd | N.Vin -> Some 0
+  | N.N i -> if i >= 0 && i < nl.N.n_unknowns then Some (i + 1) else None
+
+(* Union-find over DC-conductive edges: only finite non-zero conductances
+   (and the resistive half of nothing else) carry current at DC.  A series
+   RC has Y(0) = 0; capacitors and VCCS outputs contribute no DC
+   self-admittance. *)
+let check_floating nl =
+  let n = nl.N.n_unknowns + 1 in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter
+    (fun p ->
+      match p with
+      | N.Conductance (a, b, g) when is_finite g && g <> 0.0 -> (
+        match (slot_of nl a, slot_of nl b) with
+        | Some sa, Some sb -> union sa sb
+        | _ -> ())
+      | _ -> ())
+    nl.N.prims;
+  let anchor = find 0 in
+  List.filter_map
+    (fun i ->
+      if find (i + 1) <> anchor then
+        Some
+          (Diagnostic.make ~subject:(node_name (N.N i)) Diagnostic.Floating_node
+             (Printf.sprintf "node %s has no DC conductive path to ground"
+                (node_name (N.N i))))
+      else None)
+    (List.init nl.N.n_unknowns (fun i -> i))
+
+(* A VCCS needs its control node driven by something (otherwise that node's
+   MNA row is empty) and its output node loaded by at least one passive
+   (otherwise the output row carries no admittance). *)
+let check_vccs nl =
+  let n = nl.N.n_unknowns in
+  let passive_count = Array.make (max n 1) 0 in
+  let drive_count = Array.make (max n 1) 0 in
+  let bump arr = function
+    | N.N i when i >= 0 && i < n -> arr.(i) <- arr.(i) + 1
+    | _ -> ()
+  in
+  List.iter
+    (fun p ->
+      match p with
+      | N.Conductance (a, b, _) | N.Capacitance (a, b, _) | N.Series_rc (a, b, _, _) ->
+        bump passive_count a;
+        bump passive_count b;
+        bump drive_count a;
+        bump drive_count b
+      | N.Vccs { out; _ } -> bump drive_count out)
+    nl.N.prims;
+  List.concat_map
+    (fun p ->
+      match p with
+      | N.Vccs { ctrl; out; _ } ->
+        let subject = prim_name p in
+        let ctrl_diags =
+          match ctrl with
+          | N.Gnd ->
+            [ Diagnostic.make ~subject Diagnostic.Dead_element
+                "VCCS is controlled by ground (output current is always zero)" ]
+          | N.Vin -> []
+          | N.N i when i >= 0 && i < n ->
+            if drive_count.(i) = 0 then
+              [ Diagnostic.make ~subject Diagnostic.Dangling_vccs_ctrl
+                  (Printf.sprintf "VCCS senses %s, but no element drives it"
+                     (node_name ctrl)) ]
+            else []
+          | N.N _ -> []
+        in
+        let out_diags =
+          match out with
+          | N.Gnd | N.Vin ->
+            [ Diagnostic.make ~subject Diagnostic.Dead_element
+                "VCCS drives a fixed-potential node (current disappears)" ]
+          | N.N i when i >= 0 && i < n ->
+            if passive_count.(i) = 0 then
+              [ Diagnostic.make ~subject Diagnostic.Dangling_vccs_out
+                  (Printf.sprintf "VCCS drives %s, which carries no admittance"
+                     (node_name out)) ]
+            else []
+          | N.N _ -> []
+        in
+        ctrl_diags @ out_diags
+      | _ -> [])
+    nl.N.prims
+
+(* Reachability vin -> vout: passives with a non-zero finite value are
+   bidirectional signal edges, transconductors are directed ctrl -> out.
+   Ground is an AC short and propagates nothing. *)
+let check_signal_path nl =
+  let n = nl.N.n_unknowns in
+  if n < 3 then
+    [ Diagnostic.make Diagnostic.No_signal_path
+        (Printf.sprintf "netlist has %d unknowns; vout does not exist" n) ]
+  else begin
+    let adj = Array.make (n + 1) [] in
+    (* index 0 = vin, unknown i = i+1; gnd is excluded entirely *)
+    let idx = function
+      | N.Vin -> Some 0
+      | N.N i when i >= 0 && i < n -> Some (i + 1)
+      | N.Gnd | N.N _ -> None
+    in
+    let add_undirected a b =
+      match (idx a, idx b) with
+      | Some ia, Some ib ->
+        adj.(ia) <- ib :: adj.(ia);
+        adj.(ib) <- ia :: adj.(ib)
+      | _ -> ()
+    in
+    let add_directed a b =
+      match (idx a, idx b) with
+      | Some ia, Some ib -> adj.(ia) <- ib :: adj.(ia)
+      | _ -> ()
+    in
+    List.iter
+      (fun p ->
+        match p with
+        | N.Conductance (a, b, v) | N.Capacitance (a, b, v) ->
+          if is_finite v && v <> 0.0 then add_undirected a b
+        | N.Series_rc (a, b, _, c) -> if is_finite c && c <> 0.0 then add_undirected a b
+        | N.Vccs { ctrl; out; gm; _ } ->
+          if is_finite gm && gm <> 0.0 then add_directed ctrl out)
+      nl.N.prims;
+    let visited = Array.make (n + 1) false in
+    let rec bfs = function
+      | [] -> ()
+      | i :: rest ->
+        let next =
+          List.filter
+            (fun j ->
+              if visited.(j) then false
+              else begin
+                visited.(j) <- true;
+                true
+              end)
+            adj.(i)
+        in
+        bfs (rest @ next)
+    in
+    visited.(0) <- true;
+    bfs [ 0 ];
+    if visited.(3) (* vout = N 2 = index 3 *) then []
+    else
+      [ Diagnostic.make ~subject:"vout" Diagnostic.No_signal_path
+          "no signal path from vin to vout through the element graph" ]
+  end
+
+let check nl =
+  check_ranges nl @ check_values nl @ check_gm_instances nl @ check_vccs nl
+  @ check_floating nl @ check_signal_path nl

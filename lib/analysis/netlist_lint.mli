@@ -1,0 +1,25 @@
+(** Static well-formedness checks over an MNA-ready netlist.
+
+    Purely structural: no matrix is assembled and no factorization is
+    attempted.  The checks prove, before simulation, the properties whose
+    violation would otherwise surface as a singular LU factorization or a
+    silent NaN deep inside the optimization loop:
+
+    - every referenced node index lies inside [0, n_unknowns);
+    - every node has a DC conductive path to ground or to the driven input
+      (otherwise the DC MNA system is structurally singular);
+    - no VCCS senses a node that nothing drives, and none drives a node
+      carrying no admittance;
+    - a signal path exists from [vin] to [vout] (passives are bidirectional
+      edges, transconductors are directed control->output edges; ground
+      does not propagate signal);
+    - element values are finite and correctly signed, transconductor
+      instances carry positive gm / gm/Id / bias values;
+    - transconductor instance names are unique. *)
+
+val node_name : Into_circuit.Netlist.node -> string
+(** ["gnd"], ["vin"], ["v1"], ["v2"], ["vout"], ["n3"], ... *)
+
+val check : Into_circuit.Netlist.t -> Diagnostic.t list
+(** All diagnostics, in deterministic order (element order of the netlist,
+    then graph-level findings). *)

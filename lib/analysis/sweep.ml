@@ -1,0 +1,65 @@
+module Topology = Into_circuit.Topology
+module Params = Into_circuit.Params
+module Netlist = Into_circuit.Netlist
+
+type report = {
+  checked : int;
+  errors : int;
+  warnings : int;
+  infos : int;
+  failures : (int * Diagnostic.t) list;
+}
+
+let default_cl_f = 10e-12
+
+let netlist_diags ~cl_f topo =
+  match
+    let schema = Params.schema topo in
+    let sizing = Params.denormalize schema (Params.default_point schema) in
+    Netlist.build topo ~sizing ~cl_f
+  with
+  | nl -> Netlist_lint.check nl
+  | exception exn ->
+    [ Diagnostic.make Diagnostic.Build_failure
+        (Printf.sprintf "netlist expansion raised %s" (Printexc.to_string exn)) ]
+
+let check_index ?(cl_f = default_cl_f) idx =
+  let topo_diags = Topology_lint.check_index idx in
+  if Diagnostic.has_errors topo_diags then topo_diags
+  else topo_diags @ netlist_diags ~cl_f (Topology.of_index idx)
+
+let run ?(cl_f = default_cl_f) ?(max_failures = 20) () =
+  let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+  let failures = ref [] in
+  for idx = 0 to Topology.space_size - 1 do
+    List.iter
+      (fun (d : Diagnostic.t) ->
+        match d.Diagnostic.severity with
+        | Diagnostic.Error ->
+          incr errors;
+          if List.length !failures < max_failures then failures := (idx, d) :: !failures
+        | Diagnostic.Warning -> incr warnings
+        | Diagnostic.Info -> incr infos)
+      (check_index ~cl_f idx)
+  done;
+  {
+    checked = Topology.space_size;
+    errors = !errors;
+    warnings = !warnings;
+    infos = !infos;
+    failures = List.rev !failures;
+  }
+
+let summary r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "linted %d topologies: %d errors, %d warnings, %d infos\n" r.checked
+       r.errors r.warnings r.infos);
+  List.iter
+    (fun (idx, d) ->
+      Buffer.add_string buf (Printf.sprintf "  topology %d: %s\n" idx (Diagnostic.to_string d)))
+    r.failures;
+  Buffer.add_string buf
+    (if r.errors = 0 then "design space is statically well-formed"
+     else Printf.sprintf "%d Error-severity findings" r.errors);
+  Buffer.contents buf

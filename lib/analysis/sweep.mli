@@ -1,0 +1,25 @@
+(** Whole-design-space lint: statically verify all 30625 topologies.
+
+    Each index is decoded, audited ({!Topology_lint}), expanded into a
+    netlist at the schema's default sizing point, and checked
+    ({!Netlist_lint}).  Nothing is simulated; the sweep proves that every
+    candidate the optimizer can ever draw reaches the solver well-formed. *)
+
+type report = {
+  checked : int;  (** topologies linted (= space size for a full sweep) *)
+  errors : int;  (** total Error-severity diagnostics *)
+  warnings : int;
+  infos : int;
+  failures : (int * Diagnostic.t) list;
+      (** (index, diagnostic) for Error findings, capped at [max_failures] *)
+}
+
+val check_index : ?cl_f:float -> int -> Diagnostic.t list
+(** Topology audit plus default-sizing netlist lint for one index.
+    [cl_f] is the load capacitance of the probe netlist (default 10 pF). *)
+
+val run : ?cl_f:float -> ?max_failures:int -> unit -> report
+(** Lint every index of the design space (default [max_failures] 20). *)
+
+val summary : report -> string
+(** Multi-line human-readable report. *)

@@ -1,0 +1,44 @@
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+
+let check topo =
+  let rule_diags =
+    List.filter_map
+      (fun slot ->
+        let sub = Topology.get topo slot in
+        if Array.exists (Subcircuit.equal sub) (Topology.allowed slot) then None
+        else
+          Some
+            (Diagnostic.make ~subject:(Topology.slot_name slot) Diagnostic.Rule_violation
+               (Printf.sprintf "subcircuit %s is not admissible in slot %s"
+                  (Subcircuit.to_string sub) (Topology.slot_name slot))))
+      Topology.slots
+  in
+  let structure_diags =
+    (* Purely informational: a three-stage amplifier with no path bridging
+       the stages (no v1-vout compensation, no feedforward) is legal but
+       rarely stabilizable; designers reading a lint report want the hint. *)
+    if
+      Subcircuit.equal (Topology.get topo Topology.V1_vout) Subcircuit.No_conn
+      && Subcircuit.equal (Topology.get topo Topology.Vin_vout) Subcircuit.No_conn
+    then
+      [ Diagnostic.make ~subject:"v1-vout" Diagnostic.No_compensation
+          "no compensation (v1-vout) or feedforward (vin-vout) path is present" ]
+    else []
+  in
+  rule_diags @ structure_diags
+
+let check_index idx =
+  if idx < 0 || idx >= Topology.space_size then
+    [ Diagnostic.make Diagnostic.Index_mismatch
+        (Printf.sprintf "index %d outside [0, %d)" idx Topology.space_size) ]
+  else
+    let topo = Topology.of_index idx in
+    let roundtrip = Topology.to_index topo in
+    let bijection =
+      if roundtrip <> idx then
+        [ Diagnostic.make Diagnostic.Index_mismatch
+            (Printf.sprintf "of_index %d re-encodes to %d" idx roundtrip) ]
+      else []
+    in
+    bijection @ check topo

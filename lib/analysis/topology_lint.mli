@@ -1,0 +1,13 @@
+(** Static audits over a topology (before any netlist is expanded).
+
+    The rule set R is enforced by the [Topology] smart constructors, so the
+    audit exists to catch invariant breakage (a future representation
+    change, hand-decoded indices) and to attach designer-facing Info
+    diagnostics to structurally suspicious but legal designs. *)
+
+val check : Into_circuit.Topology.t -> Diagnostic.t list
+
+val check_index : int -> Diagnostic.t list
+(** Decode a design-space index, audit the decode/encode bijection
+    ({!Diagnostic.Index_mismatch}) and run {!check}.  Out-of-range indices
+    yield a single [Index_mismatch] error instead of raising. *)

@@ -26,6 +26,7 @@ type result = {
   steps : Topo_bo.step list;
   best : Evaluator.evaluation option;
   total_sims : int;
+  rejections : int;
 }
 
 let crossover rng a b =
@@ -43,13 +44,14 @@ type state = {
   mutable population : Evaluator.evaluation list;
   mutable steps : Topo_bo.step list;
   mutable total_sims : int;
+  mutable rejections : int;
   mutable best : (Evaluator.evaluation * float) option;
 }
 
 let fitness st (e : Evaluator.evaluation) =
   if e.feasible then e.fom else -.Perf.violation e.perf st.spec
 
-let record st ~iteration ~evaluation ~n_sims =
+let record st ~iteration ~evaluation ~rejection ~n_sims =
   st.total_sims <- st.total_sims + n_sims;
   (match evaluation with
   | Some (e : Evaluator.evaluation) when e.feasible -> (
@@ -61,6 +63,7 @@ let record st ~iteration ~evaluation ~n_sims =
     {
       Topo_bo.iteration;
       evaluation;
+      rejection;
       cumulative_sims = st.total_sims;
       best_fom_so_far = Option.map snd st.best;
     }
@@ -68,12 +71,18 @@ let record st ~iteration ~evaluation ~n_sims =
 
 let evaluate st ~iteration topo =
   Hashtbl.replace st.visited (Topology.to_index topo) ();
-  match Evaluator.evaluate ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo with
-  | Some e ->
-    record st ~iteration ~evaluation:(Some e) ~n_sims:e.n_sims;
+  match
+    Evaluator.evaluate_gated ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo
+  with
+  | Evaluator.Evaluated e ->
+    record st ~iteration ~evaluation:(Some e) ~rejection:[] ~n_sims:e.n_sims;
     Some e
-  | None ->
-    record st ~iteration ~evaluation:None
+  | Evaluator.Rejected diags ->
+    st.rejections <- st.rejections + 1;
+    record st ~iteration ~evaluation:None ~rejection:diags ~n_sims:0;
+    None
+  | Evaluator.Failed ->
+    record st ~iteration ~evaluation:None ~rejection:[]
       ~n_sims:(Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing);
     None
 
@@ -138,6 +147,7 @@ let run ?(config = default_config) ~rng ~spec () =
       population = [];
       steps = [];
       total_sims = 0;
+      rejections = 0;
       best = None;
     }
   in
@@ -161,4 +171,9 @@ let run ?(config = default_config) ~rng ~spec () =
       | Some e -> replace_worst st e
       | None -> ()
   done;
-  { steps = List.rev st.steps; best = Option.map fst st.best; total_sims = st.total_sims }
+  {
+    steps = List.rev st.steps;
+    best = Option.map fst st.best;
+    total_sims = st.total_sims;
+    rejections = st.rejections;
+  }

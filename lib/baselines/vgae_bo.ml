@@ -31,6 +31,7 @@ type result = {
   steps : Topo_bo.step list;
   best : Evaluator.evaluation option;
   total_sims : int;
+  rejections : int;
 }
 
 type state = {
@@ -41,6 +42,7 @@ type state = {
   mutable evals : (Evaluator.evaluation * float array) list;  (** with latents *)
   mutable steps : Topo_bo.step list;
   mutable total_sims : int;
+  mutable rejections : int;
   mutable best : (Evaluator.evaluation * float) option;
   mutable lengthscales : float array;
   mutable noises : float array;
@@ -48,7 +50,7 @@ type state = {
 
 let n_models = List.length Objective.metrics + 1
 
-let record st ~iteration ~evaluation ~n_sims =
+let record st ~iteration ~evaluation ~rejection ~n_sims =
   st.total_sims <- st.total_sims + n_sims;
   (match evaluation with
   | Some (e : Evaluator.evaluation) ->
@@ -63,6 +65,7 @@ let record st ~iteration ~evaluation ~n_sims =
     {
       Topo_bo.iteration;
       evaluation;
+      rejection;
       cumulative_sims = st.total_sims;
       best_fom_so_far = Option.map snd st.best;
     }
@@ -70,10 +73,15 @@ let record st ~iteration ~evaluation ~n_sims =
 
 let evaluate st ~iteration topo =
   Hashtbl.replace st.visited (Topology.to_index topo) ();
-  match Evaluator.evaluate ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo with
-  | Some e -> record st ~iteration ~evaluation:(Some e) ~n_sims:e.n_sims
-  | None ->
-    record st ~iteration ~evaluation:None
+  match
+    Evaluator.evaluate_gated ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo
+  with
+  | Evaluator.Evaluated e -> record st ~iteration ~evaluation:(Some e) ~rejection:[] ~n_sims:e.n_sims
+  | Evaluator.Rejected diags ->
+    st.rejections <- st.rejections + 1;
+    record st ~iteration ~evaluation:None ~rejection:diags ~n_sims:0
+  | Evaluator.Failed ->
+    record st ~iteration ~evaluation:None ~rejection:[]
       ~n_sims:(Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing)
 
 let targets st =
@@ -191,6 +199,7 @@ let run ?(config = default_config) ~rng ~spec () =
       evals = [];
       steps = [];
       total_sims = 0;
+      rejections = 0;
       best = None;
       lengthscales = Array.make n_models 0.0;
       noises = Array.make n_models 1e-2;
@@ -209,4 +218,9 @@ let run ?(config = default_config) ~rng ~spec () =
   for iteration = 1 to config.iterations do
     bo_iteration st ~iteration
   done;
-  { steps = List.rev st.steps; best = Option.map fst st.best; total_sims = st.total_sims }
+  {
+    steps = List.rev st.steps;
+    best = Option.map fst st.best;
+    total_sims = st.total_sims;
+    rejections = st.rejections;
+  }

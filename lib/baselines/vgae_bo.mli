@@ -21,6 +21,7 @@ type result = {
   steps : Into_core.Topo_bo.step list;
   best : Into_core.Evaluator.evaluation option;
   total_sims : int;
+  rejections : int;  (** candidates rejected by the static gate *)
 }
 
 val run :

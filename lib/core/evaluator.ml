@@ -1,5 +1,8 @@
 module Perf = Into_circuit.Perf
 module Spec = Into_circuit.Spec
+module Params = Into_circuit.Params
+module Netlist = Into_circuit.Netlist
+module Diagnostic = Into_analysis.Diagnostic
 
 type evaluation = {
   topology : Into_circuit.Topology.t;
@@ -10,20 +13,48 @@ type evaluation = {
   n_sims : int;
 }
 
-let evaluate ?(sizing_config = Sizing.default_config) ~rng ~spec topo =
-  let result = Sizing.optimize ~config:sizing_config ~rng ~spec topo in
-  match Sizing.best result with
-  | None -> None
-  | Some o ->
-    Some
-      {
-        topology = topo;
-        sizing = o.Sizing.sizing;
-        perf = o.Sizing.perf;
-        feasible = Perf.satisfies o.Sizing.perf spec;
-        fom = Perf.fom o.Sizing.perf ~cl_f:spec.Spec.cl_f;
-        n_sims = result.Sizing.n_sims;
-      }
+type outcome =
+  | Evaluated of evaluation
+  | Rejected of Diagnostic.t list
+  | Failed
+
+let static_diagnostics ~spec topo =
+  let topo_diags = Into_analysis.Topology_lint.check topo in
+  let netlist_diags =
+    match
+      let schema = Params.schema topo in
+      let sizing = Params.denormalize schema (Params.default_point schema) in
+      Netlist.build topo ~sizing ~cl_f:spec.Spec.cl_f
+    with
+    | nl -> Into_analysis.Netlist_lint.check nl
+    | exception exn ->
+      [ Diagnostic.make Diagnostic.Build_failure
+          (Printf.sprintf "netlist expansion raised %s" (Printexc.to_string exn)) ]
+  in
+  topo_diags @ netlist_diags
+
+let evaluate_gated ?(sizing_config = Sizing.default_config) ~rng ~spec topo =
+  match Diagnostic.errors (static_diagnostics ~spec topo) with
+  | _ :: _ as errors -> Rejected errors
+  | [] -> (
+    let result = Sizing.optimize ~config:sizing_config ~rng ~spec topo in
+    match Sizing.best result with
+    | None -> Failed
+    | Some o ->
+      Evaluated
+        {
+          topology = topo;
+          sizing = o.Sizing.sizing;
+          perf = o.Sizing.perf;
+          feasible = Perf.satisfies o.Sizing.perf spec;
+          fom = Perf.fom o.Sizing.perf ~cl_f:spec.Spec.cl_f;
+          n_sims = result.Sizing.n_sims;
+        })
+
+let evaluate ?sizing_config ~rng ~spec topo =
+  match evaluate_gated ?sizing_config ~rng ~spec topo with
+  | Evaluated e -> Some e
+  | Rejected _ | Failed -> None
 
 let sims_of_failed_evaluation ~sizing_config =
   sizing_config.Sizing.n_init + sizing_config.Sizing.n_iter

@@ -1,6 +1,14 @@
 (** Topology evaluation: size a candidate topology with the inner BO and
     report the resulting performance as the topology's observation.
 
+    Every candidate first passes the static verification gate
+    ([Into_analysis]): the topology is audited against the rule set and a
+    probe netlist (default sizing, the spec's load) is linted for
+    structural singularities, dangling transconductors and malformed
+    element values.  A candidate with Error-severity diagnostics is
+    rejected {e before any simulation or LU factorization is attempted} —
+    it costs no simulation budget and never pollutes the surrogate models.
+
     The reported metrics belong to the best sizing found: the highest-FoM
     feasible point when one exists, otherwise the minimum-violation point.
     [n_sims] counts every circuit simulation spent, which is the cost unit
@@ -15,14 +23,35 @@ type evaluation = {
   n_sims : int;  (** simulations spent sizing this topology *)
 }
 
+type outcome =
+  | Evaluated of evaluation
+  | Rejected of Into_analysis.Diagnostic.t list
+      (** static gate fired; the Error-severity diagnostics, no simulation
+          budget spent *)
+  | Failed  (** every sizing attempt failed to simulate; budget spent *)
+
+val static_diagnostics :
+  spec:Into_circuit.Spec.t -> Into_circuit.Topology.t -> Into_analysis.Diagnostic.t list
+(** All diagnostics (any severity) of the gate's checks for one topology:
+    rule-set audit plus probe-netlist lint at the schema's default sizing
+    with the spec's load capacitance. *)
+
+val evaluate_gated :
+  ?sizing_config:Sizing.config ->
+  rng:Into_util.Rng.t ->
+  spec:Into_circuit.Spec.t ->
+  Into_circuit.Topology.t ->
+  outcome
+
 val evaluate :
   ?sizing_config:Sizing.config ->
   rng:Into_util.Rng.t ->
   spec:Into_circuit.Spec.t ->
   Into_circuit.Topology.t ->
   evaluation option
-(** [None] when every sizing attempt failed to simulate (the simulation
-    budget is still spent; callers should treat this as a dead topology). *)
+(** [evaluate_gated] collapsed to an option: [None] for both [Rejected] and
+    [Failed] candidates (callers should treat this as a dead topology). *)
 
 val sims_of_failed_evaluation : sizing_config:Sizing.config -> int
-(** Budget charged when {!evaluate} returns [None]. *)
+(** Budget charged when the outcome is [Failed] (a [Rejected] candidate
+    charges nothing). *)

@@ -49,23 +49,19 @@ let orient sense v = match sense with `Min -> v | `Max -> -.v
 
 let worst_slot model topo sense =
   let reports = Attribution.slot_gradients model topo in
-  let scored =
-    List.map
-      (fun slot ->
-        let g =
-          match
-            List.find_opt (fun (r : Attribution.slot_report) -> r.slot = slot) reports
-          with
-          | Some r -> orient sense r.gradient
-          | None -> 0.0 (* unconnected slot: no structure to blame *)
-        in
-        (slot, g))
-      Topology.slots
+  let score slot =
+    match
+      List.find_opt (fun (r : Attribution.slot_report) -> r.slot = slot) reports
+    with
+    | Some r -> orient sense r.gradient
+    | None -> 0.0 (* unconnected slot: no structure to blame *)
   in
   fst
     (List.fold_left
-       (fun ((_, gb) as b) ((_, g) as c) -> if g < gb then c else b)
-       (List.hd scored) (List.tl scored))
+       (fun ((_, gb) as b) slot ->
+         let g = score slot in
+         if g < gb then (slot, g) else b)
+       (Topology.V1_vout, infinity) Topology.slots)
 
 (* Candidate moves, best first: alternatives for the worst slot are ranked
    ahead (the paper's primary procedure); if they run out, replacements in

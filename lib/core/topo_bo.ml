@@ -33,6 +33,7 @@ let default_config strategy =
 type step = {
   iteration : int;
   evaluation : Evaluator.evaluation option;
+  rejection : Into_analysis.Diagnostic.t list;
   cumulative_sims : int;
   best_fom_so_far : float option;
 }
@@ -43,6 +44,7 @@ type result = {
   models : (string * Wl_gp.t) list;
   dict : Wl.dict;
   total_sims : int;
+  rejections : int;
 }
 
 let model_names = List.map (fun m -> m.Objective.name) Objective.metrics @ [ "fom" ]
@@ -85,11 +87,12 @@ type state = {
   mutable evals : Evaluator.evaluation list;  (** chronological *)
   mutable steps : step list;  (** reverse chronological *)
   mutable total_sims : int;
+  mutable rejections : int;
   mutable best : (Evaluator.evaluation * float) option;
   mutable hyper : (string * (int * float * float)) list;  (** per-model (h, noise, signal) *)
 }
 
-let record_step st ~iteration ~evaluation ~n_sims =
+let record_step st ~iteration ~evaluation ~rejection ~n_sims =
   st.total_sims <- st.total_sims + n_sims;
   (match evaluation with
   | Some (e : Evaluator.evaluation) ->
@@ -104,6 +107,7 @@ let record_step st ~iteration ~evaluation ~n_sims =
     {
       iteration;
       evaluation;
+      rejection;
       cumulative_sims = st.total_sims;
       best_fom_so_far = Option.map snd st.best;
     }
@@ -111,11 +115,17 @@ let record_step st ~iteration ~evaluation ~n_sims =
 
 let evaluate_topology st ~iteration topo =
   Hashtbl.replace st.visited (Topology.to_index topo) ();
-  match Evaluator.evaluate ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo with
-  | Some e -> record_step st ~iteration ~evaluation:(Some e) ~n_sims:e.n_sims
-  | None ->
+  match
+    Evaluator.evaluate_gated ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo
+  with
+  | Evaluator.Evaluated e ->
+    record_step st ~iteration ~evaluation:(Some e) ~rejection:[] ~n_sims:e.n_sims
+  | Evaluator.Rejected diags ->
+    st.rejections <- st.rejections + 1;
+    record_step st ~iteration ~evaluation:None ~rejection:diags ~n_sims:0
+  | Evaluator.Failed ->
     let n_sims = Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing in
-    record_step st ~iteration ~evaluation:None ~n_sims
+    record_step st ~iteration ~evaluation:None ~rejection:[] ~n_sims
 
 let fit_models st ~full_search =
   let graphs =
@@ -227,6 +237,7 @@ let run ?config ~rng ~spec () =
       evals = [];
       steps = [];
       total_sims = 0;
+      rejections = 0;
       best = None;
       hyper = [];
     }
@@ -252,4 +263,5 @@ let run ?config ~rng ~spec () =
     models;
     dict = st.dict;
     total_sims = st.total_sims;
+    rejections = st.rejections;
   }

@@ -25,6 +25,9 @@ val default_config : Candidates.strategy -> config
 type step = {
   iteration : int;  (** 0 during initialization, then 1..T *)
   evaluation : Evaluator.evaluation option;  (** [None]: dead topology *)
+  rejection : Into_analysis.Diagnostic.t list;
+      (** non-empty iff the static verification gate rejected the candidate
+          (then [evaluation = None] and the step cost no simulations) *)
   cumulative_sims : int;
   best_fom_so_far : float option;  (** best feasible FoM after this step *)
 }
@@ -37,6 +40,7 @@ type result = {
           when fewer than two topologies were evaluated) *)
   dict : Into_graph.Wl.dict;
   total_sims : int;
+  rejections : int;  (** candidates rejected by the static gate *)
 }
 
 val run : ?config:config -> rng:Into_util.Rng.t -> spec:Into_circuit.Spec.t -> unit -> result

@@ -131,6 +131,18 @@ let best_evaluation t method_id spec =
       | Some _, None -> acc)
     None (runs_of t method_id spec)
 
+let runs_of_method t method_id = List.filter (fun r -> r.method_id = method_id) t
+
+let total_rejections t method_id =
+  List.fold_left
+    (fun acc r -> acc + r.trace.Methods.rejections)
+    0 (runs_of_method t method_id)
+
+let total_candidates t method_id =
+  List.fold_left
+    (fun acc r -> acc + List.length r.trace.Methods.steps)
+    0 (runs_of_method t method_id)
+
 let fig5_series t spec ~grid_step =
   let max_sims =
     List.fold_left

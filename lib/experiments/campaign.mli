@@ -43,6 +43,14 @@ val best_evaluation :
   t -> Methods.id -> Into_circuit.Spec.t -> Into_core.Evaluator.evaluation option
 (** Highest-FoM feasible design across all runs — the Table III entry. *)
 
+val total_rejections : t -> Methods.id -> int
+(** Candidates the static verification gate rejected across every spec and
+    run of one method (surfaced by [Report.lint_summary]). *)
+
+val total_candidates : t -> Methods.id -> int
+(** Candidate evaluations attempted (steps recorded) across every spec and
+    run of one method. *)
+
 val fig5_series :
   t -> Into_circuit.Spec.t -> grid_step:int -> (string * (int * float * int) list) list
 (** Mean optimization curve per method (see {!Curves.mean_curve}). *)

@@ -46,6 +46,7 @@ type trace = {
   steps : Topo_bo.step list;
   best : Into_core.Evaluator.evaluation option;
   total_sims : int;
+  rejections : int;
 }
 
 let sizing_config scale =
@@ -76,6 +77,7 @@ let run id ~scale ~rng ~spec =
       steps = r.Into_baselines.Fe_ga.steps;
       best = r.Into_baselines.Fe_ga.best;
       total_sims = r.Into_baselines.Fe_ga.total_sims;
+      rejections = r.Into_baselines.Fe_ga.rejections;
     }
   | Vgae_bo ->
     let config =
@@ -92,6 +94,7 @@ let run id ~scale ~rng ~spec =
       steps = r.Into_baselines.Vgae_bo.steps;
       best = r.Into_baselines.Vgae_bo.best;
       total_sims = r.Into_baselines.Vgae_bo.total_sims;
+      rejections = r.Into_baselines.Vgae_bo.rejections;
     }
   | Into_oa_r | Into_oa_m | Into_oa ->
     let strategy =
@@ -101,4 +104,9 @@ let run id ~scale ~rng ~spec =
       | Fe_ga | Vgae_bo | Into_oa -> Candidates.Mixed
     in
     let r = Topo_bo.run ~config:(bo_config scale strategy) ~rng ~spec () in
-    { steps = r.Topo_bo.steps; best = r.Topo_bo.best; total_sims = r.Topo_bo.total_sims }
+    {
+      steps = r.Topo_bo.steps;
+      best = r.Topo_bo.best;
+      total_sims = r.Topo_bo.total_sims;
+      rejections = r.Topo_bo.rejections;
+    }

@@ -32,6 +32,7 @@ type trace = {
   steps : Into_core.Topo_bo.step list;
   best : Into_core.Evaluator.evaluation option;
   total_sims : int;
+  rejections : int;  (** candidates the static verification gate rejected *)
 }
 
 val run : id -> scale:scale -> rng:Into_util.Rng.t -> spec:Into_circuit.Spec.t -> trace

@@ -67,6 +67,25 @@ let table2 campaign =
       ~header:[ "Specs"; "Method"; "Suc. Rate"; "Final FoM"; "# Sim."; "Sim. Speedup" ]
       (List.concat_map block Spec.all)
 
+let lint_summary campaign =
+  let methods =
+    List.filter
+      (fun m -> List.exists (fun r -> r.Campaign.method_id = m) campaign)
+      Methods.all
+  in
+  let rows =
+    List.map
+      (fun m ->
+        [
+          Methods.name m;
+          string_of_int (Campaign.total_candidates campaign m);
+          string_of_int (Campaign.total_rejections campaign m);
+        ])
+      methods
+  in
+  "Static verification gate: candidates rejected before simulation\n"
+  ^ Table.render ~header:[ "Method"; "Candidates"; "Rejected" ] rows
+
 let perf_cells p ~cl_f =
   [
     Printf.sprintf "%.2f" p.Perf.gain_db;

@@ -10,6 +10,10 @@ val fig5 : Campaign.t -> Into_circuit.Spec.t -> string
 val table2 : Campaign.t -> string
 (** Table II: success rate / final FoM / #sims / speedup for all specs. *)
 
+val lint_summary : Campaign.t -> string
+(** Static verification gate bookkeeping: per method, the number of
+    candidates attempted and the number rejected before simulation. *)
+
 val table3 : Campaign.t -> methods:Methods.id list -> string
 (** Table III: metric breakdown of each method's best op-amp per spec. *)
 

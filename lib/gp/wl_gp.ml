@@ -44,7 +44,23 @@ let fit ?(h_candidates = default_h_candidates)
     h_candidates;
   match !best with
   | Some model -> model
-  | None -> failwith "Wl_gp.fit: no hyperparameter combination produced a valid fit"
+  | None ->
+    (* Every candidate failed the Cholesky.  The gram matrix is PSD by
+       construction, so escalating the noise floor must eventually yield a
+       positive-definite system; fall back rather than abort the BO run. *)
+    let h = match h_candidates with h :: _ -> h | [] -> 0 in
+    let feats = Array.map (fun g -> Wl.extract dict ~h g) graphs in
+    let gram = Wl_kernel.gram feats in
+    let rec with_noise noise =
+      if noise > 1e12 then
+        invalid_arg "Wl_gp.fit: gram matrix is numerically indefinite"
+      else
+        match Gp.fit ~gram ~y ~signal:1.0 ~noise with
+        | gp -> { dict; h; feats; gp }
+        | exception Into_linalg.Cholesky.Not_positive_definite ->
+          with_noise (noise *. 10.0)
+    in
+    with_noise 1.0
 
 let h t = t.h
 let log_marginal_likelihood t = Gp.log_marginal_likelihood t.gp

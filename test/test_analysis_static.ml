@@ -1,0 +1,250 @@
+(* Tests for the static verification layer: typed diagnostics, netlist and
+   topology lint, the whole-design-space sweep and the evaluator gate.
+   Seeded-bad netlists must be rejected with the exact expected code before
+   any matrix is assembled. *)
+
+module Topology = Into_circuit.Topology
+module Subcircuit = Into_circuit.Subcircuit
+module Params = Into_circuit.Params
+module Netlist = Into_circuit.Netlist
+module Spec = Into_circuit.Spec
+module Diagnostic = Into_analysis.Diagnostic
+module Netlist_lint = Into_analysis.Netlist_lint
+module Topology_lint = Into_analysis.Topology_lint
+module Sweep = Into_analysis.Sweep
+
+let has code diags = List.exists (fun d -> d.Diagnostic.code = code) diags
+
+let codes_of diags =
+  List.map (fun d -> Diagnostic.code_id d.Diagnostic.code) diags
+  |> String.concat ","
+
+let check_has what code diags =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s reports %s (got: %s)" what (Diagnostic.code_id code)
+       (codes_of diags))
+    true (has code diags)
+
+let gm_inst name =
+  { Netlist.gm_name = name; gm_value = 1e-3; gm_over_id = 15.0; bias_a = 60e-6 }
+
+(* Minimal well-formed hand netlist: vin -> v1 -> vout, every node loaded. *)
+let clean_prims =
+  [
+    Netlist.Vccs { ctrl = Netlist.Vin; out = Netlist.v1; gm = -1e-3; pole_hz = infinity };
+    Netlist.Conductance (Netlist.v1, Netlist.Gnd, 1e-5);
+    Netlist.Capacitance (Netlist.v1, Netlist.Gnd, 50e-15);
+    Netlist.Vccs { ctrl = Netlist.v1; out = Netlist.vout; gm = 2e-3; pole_hz = infinity };
+    Netlist.Conductance (Netlist.vout, Netlist.Gnd, 1e-5);
+    Netlist.Capacitance (Netlist.vout, Netlist.Gnd, 10e-12);
+    Netlist.Conductance (Netlist.v2, Netlist.Gnd, 1e-5);
+    Netlist.Conductance (Netlist.v2, Netlist.v1, 1e-6);
+  ]
+
+let hand_netlist ?(n_unknowns = 3) ?(gms = [ gm_inst "stage1"; gm_inst "stage2" ])
+    prims =
+  { Netlist.prims; n_unknowns; power_w = 100e-6; gms }
+
+(* --- diagnostic plumbing --- *)
+
+let test_code_table () =
+  Alcotest.(check int) "14 codes" 14 (List.length Diagnostic.all_codes);
+  let ids = List.map Diagnostic.code_id Diagnostic.all_codes in
+  Alcotest.(check (list string))
+    "identifier order"
+    [ "E101"; "E102"; "E103"; "E104"; "E105"; "E106"; "E107"; "E108"; "E109";
+      "E110"; "E111"; "W201"; "W202"; "I301" ]
+    ids;
+  List.iter
+    (fun c ->
+      let id = Diagnostic.code_id c in
+      let expected =
+        match id.[0] with
+        | 'E' -> Diagnostic.Error
+        | 'W' -> Diagnostic.Warning
+        | _ -> Diagnostic.Info
+      in
+      Alcotest.(check string)
+        (id ^ " severity matches prefix")
+        (Diagnostic.severity_name expected)
+        (Diagnostic.severity_name (Diagnostic.severity_of_code c)))
+    Diagnostic.all_codes
+
+let test_severity_partition () =
+  let ds =
+    [
+      Diagnostic.make Diagnostic.No_compensation "i";
+      Diagnostic.make Diagnostic.Floating_node "e";
+      Diagnostic.make Diagnostic.Zero_value "w";
+    ]
+  in
+  Alcotest.(check int) "errors" 1 (List.length (Diagnostic.errors ds));
+  Alcotest.(check bool) "has_errors" true (Diagnostic.has_errors ds);
+  Alcotest.(check int) "warning count" 1 (Diagnostic.count Diagnostic.Warning ds);
+  match Diagnostic.by_severity ds with
+  | { Diagnostic.severity = Diagnostic.Error; _ } :: _ -> ()
+  | _ -> Alcotest.fail "by_severity must put the error first"
+
+(* --- seeded-bad netlists --- *)
+
+let test_clean_hand_netlist () =
+  let diags = Netlist_lint.check (hand_netlist clean_prims) in
+  Alcotest.(check string) "no diagnostics" "" (codes_of diags)
+
+let test_floating_node () =
+  (* v2 appears in no element: its MNA row is structurally singular. *)
+  let prims =
+    List.filter
+      (function
+        | Netlist.Conductance (Netlist.N 1, _, _) -> false
+        | _ -> true)
+      clean_prims
+  in
+  let diags = Netlist_lint.check (hand_netlist prims) in
+  check_has "isolated v2" Diagnostic.Floating_node diags;
+  Alcotest.(check int) "only that error" 1 (List.length (Diagnostic.errors diags))
+
+let test_dangling_vccs_ctrl () =
+  let prims =
+    clean_prims
+    @ [ Netlist.Vccs { ctrl = Netlist.N 3; out = Netlist.vout; gm = 1e-3; pole_hz = infinity } ]
+  in
+  let diags = Netlist_lint.check (hand_netlist ~n_unknowns:4 prims) in
+  check_has "undriven control node" Diagnostic.Dangling_vccs_ctrl diags
+
+let test_dangling_vccs_out () =
+  let prims =
+    clean_prims
+    @ [ Netlist.Vccs { ctrl = Netlist.v1; out = Netlist.N 3; gm = 1e-3; pole_hz = infinity } ]
+  in
+  let diags = Netlist_lint.check (hand_netlist ~n_unknowns:4 prims) in
+  check_has "unloaded output node" Diagnostic.Dangling_vccs_out diags
+
+let test_no_signal_path () =
+  (* Every node is DC-grounded, but nothing connects vin to the circuit. *)
+  let prims =
+    [
+      Netlist.Conductance (Netlist.v1, Netlist.Gnd, 1e-5);
+      Netlist.Conductance (Netlist.v2, Netlist.Gnd, 1e-5);
+      Netlist.Conductance (Netlist.vout, Netlist.Gnd, 1e-5);
+      Netlist.Conductance (Netlist.v1, Netlist.v2, 1e-6);
+      Netlist.Conductance (Netlist.v1, Netlist.vout, 1e-6);
+    ]
+  in
+  let diags = Netlist_lint.check (hand_netlist ~gms:[] prims) in
+  check_has "unreachable vout" Diagnostic.No_signal_path diags;
+  Alcotest.(check int) "only that error" 1 (List.length (Diagnostic.errors diags))
+
+let test_node_out_of_range () =
+  let prims = Netlist.Conductance (Netlist.N 7, Netlist.Gnd, 1e-5) :: clean_prims in
+  let diags = Netlist_lint.check (hand_netlist prims) in
+  check_has "index 7 of 3" Diagnostic.Node_out_of_range diags
+
+let test_non_finite_value () =
+  let prims = Netlist.Capacitance (Netlist.v1, Netlist.Gnd, Float.nan) :: clean_prims in
+  let diags = Netlist_lint.check (hand_netlist prims) in
+  check_has "NaN capacitance" Diagnostic.Non_finite_value diags
+
+let test_negative_value () =
+  let prims = Netlist.Conductance (Netlist.v1, Netlist.Gnd, -1e-4) :: clean_prims in
+  let diags = Netlist_lint.check (hand_netlist prims) in
+  check_has "negative conductance" Diagnostic.Nonpositive_value diags
+
+let test_duplicate_gm_name () =
+  let nl = hand_netlist ~gms:[ gm_inst "stage1"; gm_inst "stage1" ] clean_prims in
+  let diags = Netlist_lint.check nl in
+  check_has "duplicate name" Diagnostic.Duplicate_gm_name diags
+
+let test_negative_gm_is_legal () =
+  (* Inverting stages carry signed gm; the linter must not flag them. *)
+  let diags = Netlist_lint.check (hand_netlist clean_prims) in
+  Alcotest.(check bool) "no value errors" false (Diagnostic.has_errors diags)
+
+(* --- topology lint --- *)
+
+let test_topology_nmc_clean () =
+  let diags = Topology_lint.check (Topology.nmc ()) in
+  Alcotest.(check string) "nmc audits clean" "" (codes_of (Diagnostic.errors diags))
+
+let test_topology_no_compensation_info () =
+  let topo =
+    Topology.set
+      (Topology.set (Topology.nmc ()) Topology.V1_vout Subcircuit.No_conn)
+      Topology.Vin_vout Subcircuit.No_conn
+  in
+  let diags = Topology_lint.check topo in
+  check_has "uncompensated design" Diagnostic.No_compensation diags;
+  Alcotest.(check bool) "info only, not an error" false (Diagnostic.has_errors diags)
+
+let test_topology_index_roundtrip () =
+  List.iter
+    (fun idx ->
+      match Diagnostic.errors (Topology_lint.check_index idx) with
+      | [] -> ()
+      | d :: _ ->
+        Alcotest.failf "index %d: unexpected %s" idx (Diagnostic.to_string d))
+    [ 0; 1; 17424; Topology.space_size - 1 ];
+  check_has "out-of-range index" Diagnostic.Index_mismatch
+    (Topology_lint.check_index Topology.space_size)
+
+(* --- evaluator gate --- *)
+
+let test_gate_passes_valid_topologies () =
+  (* The evaluator's gate runs exactly these diagnostics before any
+     simulation; a topology with Error findings becomes [Rejected] and
+     costs zero budget.  Every constructible topology must pass. *)
+  List.iter
+    (fun idx ->
+      let topo = Topology.of_index idx in
+      let diags = Into_core.Evaluator.static_diagnostics ~spec:Spec.s1 topo in
+      Alcotest.(check string)
+        (Printf.sprintf "index %d passes the gate" idx)
+        "" (codes_of (Diagnostic.errors diags)))
+    [ 0; 17424; Topology.space_size - 1 ]
+
+(* --- whole-design-space sweep --- *)
+
+let test_full_sweep_is_clean () =
+  let report = Sweep.run () in
+  Alcotest.(check int) "whole space checked" Topology.space_size report.Sweep.checked;
+  Alcotest.(check int) "zero errors" 0 report.Sweep.errors;
+  Alcotest.(check int) "zero warnings" 0 report.Sweep.warnings;
+  Alcotest.(check int) "no failures" 0 (List.length report.Sweep.failures)
+
+let () =
+  Alcotest.run "into_analysis"
+    [
+      ( "diagnostic",
+        [
+          Alcotest.test_case "code table" `Quick test_code_table;
+          Alcotest.test_case "severity partition" `Quick test_severity_partition;
+        ] );
+      ( "netlist_lint",
+        [
+          Alcotest.test_case "clean hand netlist" `Quick test_clean_hand_netlist;
+          Alcotest.test_case "floating node E101" `Quick test_floating_node;
+          Alcotest.test_case "dangling ctrl E102" `Quick test_dangling_vccs_ctrl;
+          Alcotest.test_case "dangling out E103" `Quick test_dangling_vccs_out;
+          Alcotest.test_case "no signal path E104" `Quick test_no_signal_path;
+          Alcotest.test_case "out of range E105" `Quick test_node_out_of_range;
+          Alcotest.test_case "non-finite E106" `Quick test_non_finite_value;
+          Alcotest.test_case "negative value E107" `Quick test_negative_value;
+          Alcotest.test_case "duplicate gm E108" `Quick test_duplicate_gm_name;
+          Alcotest.test_case "signed gm legal" `Quick test_negative_gm_is_legal;
+        ] );
+      ( "topology_lint",
+        [
+          Alcotest.test_case "nmc clean" `Quick test_topology_nmc_clean;
+          Alcotest.test_case "no compensation I301" `Quick
+            test_topology_no_compensation_info;
+          Alcotest.test_case "index roundtrip E109" `Quick
+            test_topology_index_roundtrip;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "static gate passes valid topologies" `Quick
+            test_gate_passes_valid_topologies;
+        ] );
+      ( "sweep",
+        [ Alcotest.test_case "all 30625 indices clean" `Quick test_full_sweep_is_clean ] );
+    ]

@@ -1,0 +1,230 @@
+(* Source-level lint: scan OCaml sources for banned patterns and report
+   file:line with a diagnostic code.  Runs as part of `dune runtest` (see
+   ./dune), so the tree stays clean under these rules forever.
+
+   Usage: lint_src [--lib DIR] [DIR | --src DIR] ...
+
+   Directories passed with --lib are additionally held to the library-only
+   rules (no stdout printing, no untyped aborts).  Comments, string
+   literals and character literals are stripped before matching, so a
+   banned token inside documentation or a message never fires.
+
+   Codes:
+     L001  Array.unsafe_get / Array.unsafe_set   unchecked access
+     L002  Obj.magic                             type-system escape
+     L003  List.hd / List.tl                     partial function
+     L004  Option.get                            partial function
+     L005  == / != physical equality             float-unsafe comparison
+     L006  Printf.printf in lib/                 library writes to stdout
+     L007  failwith in lib/                      untyped abort *)
+
+type finding = { file : string; line : int; code : string; message : string }
+
+(* --- OCaml-aware stripping ------------------------------------------- *)
+
+(* Replace comments (nested), string literals and character literals with
+   spaces, preserving newlines so line numbers survive. *)
+let strip src =
+  let n = String.length src in
+  let buf = Buffer.create n in
+  let blank c = Buffer.add_char buf (if c = '\n' then '\n' else ' ') in
+  let blank_range i j =
+    for k = i to j - 1 do
+      if k < n then blank src.[k]
+    done
+  in
+  let i = ref 0 in
+  let comment_depth = ref 0 in
+  let in_string = ref false in
+  while !i < n do
+    let c = src.[!i] in
+    if !in_string then begin
+      if c = '\\' && !i + 1 < n then begin
+        blank_range !i (!i + 2);
+        i := !i + 2
+      end
+      else begin
+        if c = '"' then in_string := false;
+        blank c;
+        incr i
+      end
+    end
+    else if !comment_depth > 0 then begin
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        incr comment_depth;
+        blank_range !i (!i + 2);
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        decr comment_depth;
+        blank_range !i (!i + 2);
+        i := !i + 2
+      end
+      else begin
+        blank c;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      comment_depth := 1;
+      blank_range !i (!i + 2);
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      in_string := true;
+      blank c;
+      incr i
+    end
+    else if c = '\'' then begin
+      (* Character literal or type variable.  'x' and '\..' are literals;
+         anything else (e.g. 'a in a type) passes through as a blank. *)
+      if !i + 2 < n && src.[!i + 1] <> '\\' && src.[!i + 2] = '\'' then begin
+        blank_range !i (!i + 3);
+        i := !i + 3
+      end
+      else if !i + 1 < n && src.[!i + 1] = '\\' then begin
+        let j = ref (!i + 2) in
+        while !j < n && src.[!j] <> '\'' do
+          incr j
+        done;
+        blank_range !i (!j + 1);
+        i := !j + 1
+      end
+      else begin
+        blank c;
+        incr i
+      end
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+(* --- pattern matching ------------------------------------------------- *)
+
+let is_ident c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+type rule = { code : string; pattern : string; message : string; lib_only : bool }
+
+let rules =
+  [
+    { code = "L001"; pattern = "Array.unsafe_get"; message = "unchecked array access"; lib_only = false };
+    { code = "L001"; pattern = "Array.unsafe_set"; message = "unchecked array access"; lib_only = false };
+    { code = "L002"; pattern = "Obj.magic"; message = "type-system escape"; lib_only = false };
+    { code = "L003"; pattern = "List.hd"; message = "partial function (match on the list instead)"; lib_only = false };
+    { code = "L003"; pattern = "List.tl"; message = "partial function (match on the list instead)"; lib_only = false };
+    { code = "L004"; pattern = "Option.get"; message = "partial function (match on the option instead)"; lib_only = false };
+    { code = "L006"; pattern = "Printf.printf"; message = "library code must not write to stdout"; lib_only = true };
+    { code = "L007"; pattern = "failwith"; message = "untyped abort (return a result or raise a typed exception)"; lib_only = true };
+  ]
+
+let find_pattern line (r : rule) =
+  let pl = String.length r.pattern and ll = String.length line in
+  let rec go from acc =
+    if from + pl > ll then acc
+    else
+      match String.index_from_opt line from r.pattern.[0] with
+      | None -> acc
+      | Some at when at + pl > ll -> acc
+      | Some at ->
+        let matches =
+          String.sub line at pl = r.pattern
+          && (at = 0 || not (is_ident line.[at - 1]))
+          && (at + pl >= ll || not (is_ident line.[at + pl]))
+        in
+        go (at + 1) (acc || matches)
+  in
+  go 0 false
+
+(* Physical equality: == and != outside longer operators (===, !==, ...). *)
+let has_physical_equality line =
+  let ll = String.length line in
+  let op_char c = String.contains "!$%&*+-./:<=>?@^|~" c in
+  let rec go i =
+    if i + 1 >= ll then false
+    else if
+      (line.[i] = '=' || line.[i] = '!')
+      && line.[i + 1] = '='
+      && (i + 2 >= ll || not (op_char line.[i + 2]))
+      && (i = 0 || not (op_char line.[i - 1]))
+    then true
+    else go (i + 1)
+  in
+  go 0
+
+let scan_file ~lib_rules file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let stripped = strip src in
+  let findings = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      List.iter
+        (fun r ->
+          if ((not r.lib_only) || lib_rules) && find_pattern line r then
+            findings :=
+              { file; line = lineno; code = r.code;
+                message = Printf.sprintf "%s (%s)" r.message r.pattern }
+              :: !findings)
+        rules;
+      if has_physical_equality line then
+        findings :=
+          { file; line = lineno; code = "L005";
+            message = "physical equality ==/!= (unsafe on floats; use = or Float.equal)" }
+          :: !findings)
+    (String.split_on_char '\n' stripped);
+  List.rev !findings
+
+(* --- directory walk --------------------------------------------------- *)
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let rec walk dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.sort compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then acc
+        else
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then acc @ walk path
+          else if is_source entry then acc @ [ path ]
+          else acc)
+      [] entries
+  | exception Sys_error _ -> []
+
+let () =
+  let targets = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--lib" :: dir :: rest ->
+      targets := (dir, true) :: !targets;
+      parse rest
+    | "--src" :: dir :: rest | dir :: rest ->
+      targets := (dir, false) :: !targets;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let findings =
+    List.concat_map
+      (fun (dir, lib_rules) ->
+        List.concat_map (fun f -> scan_file ~lib_rules f) (walk dir))
+      (List.rev !targets)
+  in
+  List.iter
+    (fun f -> Printf.printf "%s:%d: [%s] %s\n" f.file f.line f.code f.message)
+    findings;
+  if findings = [] then print_endline "lint_src: clean"
+  else begin
+    Printf.printf "lint_src: %d findings\n" (List.length findings);
+    exit 1
+  end
