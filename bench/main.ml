@@ -7,7 +7,7 @@
      INTO_OA_RUNS=n        number of repetitions (default 3)
      INTO_OA_ITERS=n       BO iterations (default 25)
      INTO_OA_POOL=n        candidate pool (default 100)
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe -- [-j N] [--cache-dir DIR] [--no-cache] [--resume] *)
 
 open Bechamel
 
@@ -21,6 +21,40 @@ module Report = Into_experiments.Report
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* --- runtime engine flags --- *)
+
+let jobs = ref 1
+let cache_dir = ref ".into-oa-cache"
+let no_cache = ref false
+let resume = ref false
+
+let parse_args () =
+  let spec =
+    [
+      ("-j", Arg.Set_int jobs, "N worker domains (default 1 = serial; 0 = one per core)");
+      ("--jobs", Arg.Set_int jobs, "N same as -j");
+      ( "--cache-dir",
+        Arg.Set_string cache_dir,
+        "DIR evaluation cache / checkpoint directory (default .into-oa-cache)" );
+      ("--no-cache", Arg.Set no_cache, " disable the persistent evaluation cache");
+      ("--resume", Arg.Set resume, " resume the campaign from its checkpoint journal");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "dune exec bench/main.exe -- [options]"
+
+let make_runtime () =
+  let cache =
+    if !no_cache then None else Some (Into_runtime.Cache.create ~dir:!cache_dir)
+  in
+  let checkpoint =
+    Into_runtime.Checkpoint.start
+      ~path:(Filename.concat !cache_dir "bench.ckpt")
+      ~fresh:(not !resume)
+  in
+  Into_runtime.Exec.create ~jobs:!jobs ?cache ~checkpoint ()
 
 (* --- E8: micro-benchmarks --- *)
 
@@ -99,7 +133,7 @@ let run_microbenchmarks () =
 
 (* --- E1-E4: specification sets, optimization campaign --- *)
 
-let run_campaign scale =
+let run_campaign runtime scale =
   section "E1: Table I";
   print_endline (Report.table1 ());
   section
@@ -107,7 +141,10 @@ let run_campaign scale =
        "E2-E4: optimization campaign (%d runs, %d iterations, pool %d; set INTO_OA_FULL=1 for paper scale)"
        scale.Methods.runs scale.Methods.iterations scale.Methods.pool);
   let campaign =
-    Campaign.execute ~progress:(fun s -> Printf.eprintf "  [%s]\n%!" s) ~scale ~seed:2025 ()
+    Campaign.execute
+      ~progress:
+        (Into_runtime.Progress.of_string_renderer (fun s -> Printf.eprintf "  [%s]\n%!" s))
+      ~runtime ~scale ~seed:2025 ()
   in
   List.iter
     (fun spec ->
@@ -216,12 +253,16 @@ let run_surrogate_quality scale =
   print_endline (Into_experiments.Surrogate_exp.render Spec.s1 r)
 
 let () =
+  parse_args ();
   run_microbenchmarks ();
   let scale = Methods.scale_of_env () in
-  let campaign = run_campaign scale in
+  let runtime = make_runtime () in
+  let campaign = run_campaign runtime scale in
   run_interpretability scale;
   let refinement = run_refinement scale in
   run_tlevel campaign refinement;
   run_ablations scale;
   run_surrogate_quality scale;
+  Printf.eprintf "%s\n%!" (Into_runtime.Exec.summary runtime);
+  Option.iter Into_runtime.Checkpoint.close (Into_runtime.Exec.checkpoint runtime);
   print_newline ()

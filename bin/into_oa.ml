@@ -43,6 +43,56 @@ let spec_arg =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* --- runtime engine flags (shared by optimize / evaluate / tables) --- *)
+
+type runtime_flags = { jobs : int; cache_dir : string; no_cache : bool; resume : bool }
+
+let runtime_term =
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for parallel evaluation. Default 1 (serial); 0 means \
+                   one per core. Results are identical at any job count.")
+  in
+  let cache_dir =
+    Arg.(value & opt string ".into-oa-cache"
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Directory holding the persistent evaluation cache and checkpoint \
+                   journals (default $(b,.into-oa-cache)).")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Disable the persistent evaluation cache.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from the checkpoint journal left by an interrupted invocation \
+                   instead of starting fresh.")
+  in
+  Term.(const (fun jobs cache_dir no_cache resume -> { jobs; cache_dir; no_cache; resume })
+        $ jobs $ cache_dir $ no_cache $ resume)
+
+let make_runtime ?journal flags =
+  let cache =
+    if flags.no_cache then None
+    else Some (Into_runtime.Cache.create ~dir:flags.cache_dir)
+  in
+  let checkpoint =
+    Option.map
+      (fun name ->
+        Into_runtime.Checkpoint.start
+          ~path:(Filename.concat flags.cache_dir name)
+          ~fresh:(not flags.resume))
+      journal
+  in
+  Into_runtime.Exec.create ~jobs:flags.jobs ?cache ?checkpoint ()
+
+(* The summary goes to stderr so stdout stays identical across -j values. *)
+let finish_runtime runtime =
+  Printf.eprintf "%s\n%!" (Into_runtime.Exec.summary runtime);
+  Option.iter Into_runtime.Checkpoint.close (Into_runtime.Exec.checkpoint runtime)
+
 let iterations_arg =
   Arg.(value & opt int 50 & info [ "iterations" ] ~docv:"N" ~doc:"Search iterations.")
 
@@ -58,12 +108,20 @@ let specs_cmd =
 
 (* --- optimize --- *)
 
-let optimize method_id spec seed iterations pool verbose =
+let optimize method_id spec seed iterations pool verbose flags =
   let scale =
     { (Methods.scale_of_env ()) with Methods.runs = 1; iterations; pool }
   in
-  let rng = Into_util.Rng.create ~seed in
-  let trace = Methods.run method_id ~scale ~rng ~spec in
+  let runtime = make_runtime ~journal:"optimize.ckpt" flags in
+  let campaign =
+    Into_experiments.Campaign.execute ~runtime ~methods:[ method_id ] ~specs:[ spec ]
+      ~scale ~seed ()
+  in
+  let trace =
+    match campaign with
+    | [ r ] -> r.Into_experiments.Campaign.trace
+    | _ -> assert false (* the grid has exactly one cell *)
+  in
   if verbose then
     List.iter
       (fun (s : Into_core.Topo_bo.step) ->
@@ -83,12 +141,13 @@ let optimize method_id spec seed iterations pool verbose =
   if trace.Methods.rejections > 0 then
     Printf.printf ", %d candidates rejected by the static gate" trace.Methods.rejections;
   print_newline ();
-  match trace.Methods.best with
+  (match trace.Methods.best with
   | None -> print_endline "No feasible design found."
   | Some e ->
     Printf.printf "Best design: %s\n  %s\n"
       (Topology.to_string e.Into_core.Evaluator.topology)
-      (Perf.to_string e.Into_core.Evaluator.perf ~cl_f:spec.Spec.cl_f)
+      (Perf.to_string e.Into_core.Evaluator.perf ~cl_f:spec.Spec.cl_f));
+  finish_runtime runtime
 
 let optimize_cmd =
   let method_arg =
@@ -98,24 +157,26 @@ let optimize_cmd =
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the trace.") in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Run topology optimization on a specification.")
-    Term.(const optimize $ method_arg $ spec_arg $ seed_arg $ iterations_arg $ pool_arg $ verbose_arg)
+    Term.(const optimize $ method_arg $ spec_arg $ seed_arg $ iterations_arg $ pool_arg
+          $ verbose_arg $ runtime_term)
 
 (* --- evaluate --- *)
 
-let evaluate index spec seed =
+let evaluate index spec seed flags =
   match Topology.of_index index with
   | exception Invalid_argument _ ->
     Printf.eprintf "index out of range (0 .. %d)\n" (Topology.space_size - 1);
     exit 1
   | topo ->
     Printf.printf "Topology %d: %s\n" index (Topology.to_string topo);
-    let rng = Into_util.Rng.create ~seed in
-    (match Into_core.Evaluator.evaluate ~rng ~spec topo with
-    | None -> print_endline "Every sizing attempt failed to simulate."
-    | Some e ->
-      Printf.printf "%s\nfeasible for %s: %b  (%d simulations)\n"
-        (Perf.to_string e.Into_core.Evaluator.perf ~cl_f:spec.Spec.cl_f)
-        spec.Spec.name e.Into_core.Evaluator.feasible e.Into_core.Evaluator.n_sims)
+    let runtime = make_runtime flags in
+    let task =
+      Into_core.Evaluator.task ~spec ~sizing_config:Into_core.Sizing.default_config ~seed
+        topo
+    in
+    let outcome = Into_runtime.Exec.evaluate runtime task in
+    print_endline (Into_core.Design_report.outcome_summary ~cl_f:spec.Spec.cl_f outcome);
+    finish_runtime runtime
 
 let evaluate_cmd =
   let index_arg =
@@ -123,7 +184,7 @@ let evaluate_cmd =
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Size one topology (by index) for a specification.")
-    Term.(const evaluate $ index_arg $ spec_arg $ seed_arg)
+    Term.(const evaluate $ index_arg $ spec_arg $ seed_arg $ runtime_term)
 
 (* --- lint --- *)
 
@@ -258,12 +319,20 @@ let analyze_cmd =
 
 (* --- tables --- *)
 
-let tables seed =
-  let scale = Methods.scale_of_env () in
+let tables seed scale_name flags =
+  let scale =
+    match Methods.scale_of_name scale_name with
+    | Some s -> s
+    | None ->
+      Printf.eprintf "unknown scale %S (expected smoke, paper or env)\n" scale_name;
+      exit 2
+  in
+  let runtime = make_runtime ~journal:"campaign.ckpt" flags in
   let campaign =
     Into_experiments.Campaign.execute
-      ~progress:(fun s -> Printf.eprintf "  [%s]\n%!" s)
-      ~scale ~seed ()
+      ~progress:
+        (Into_runtime.Progress.of_string_renderer (fun s -> Printf.eprintf "  [%s]\n%!" s))
+      ~runtime ~scale ~seed ()
   in
   print_endline (Into_experiments.Report.table1 ());
   print_newline ();
@@ -278,14 +347,23 @@ let tables seed =
     (Into_experiments.Report.table3 campaign
        ~methods:[ Methods.Fe_ga; Methods.Vgae_bo; Methods.Into_oa ]);
   print_newline ();
-  print_endline (Into_experiments.Report.lint_summary campaign)
+  print_endline (Into_experiments.Report.lint_summary campaign);
+  finish_runtime runtime
 
 let tables_cmd =
+  let scale_arg =
+    Arg.(value & opt string "env"
+         & info [ "scale" ] ~docv:"NAME"
+             ~doc:"Campaign scale: $(b,smoke) (CI-sized), $(b,paper) (full paper setup) \
+                   or $(b,env) (default; controlled by INTO_OA_RUNS / INTO_OA_ITERS / \
+                   INTO_OA_FULL).")
+  in
   Cmd.v
     (Cmd.info "tables"
        ~doc:
-         "Regenerate Fig. 5 and Tables I-III (scale via INTO_OA_RUNS / INTO_OA_ITERS / INTO_OA_FULL).")
-    Term.(const tables $ seed_arg)
+         "Regenerate Fig. 5 and Tables I-III (scale via --scale or INTO_OA_RUNS / \
+          INTO_OA_ITERS / INTO_OA_FULL).")
+    Term.(const tables $ seed_arg $ scale_arg $ runtime_term)
 
 let () =
   let info =

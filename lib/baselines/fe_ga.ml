@@ -11,6 +11,7 @@ type config = {
   tournament : int;
   mutation_probability : float;
   sizing : Into_core.Sizing.config;
+  runner : Evaluator.runner;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     tournament = 3;
     mutation_probability = 0.2;
     sizing = Into_core.Sizing.default_config;
+    runner = Evaluator.serial_runner;
   }
 
 type result = {
@@ -51,7 +53,7 @@ type state = {
 let fitness st (e : Evaluator.evaluation) =
   if e.feasible then e.fom else -.Perf.violation e.perf st.spec
 
-let record st ~iteration ~evaluation ~rejection ~n_sims =
+let record st ~iteration ~evaluation ~rejection ~failure ~n_sims =
   st.total_sims <- st.total_sims + n_sims;
   (match evaluation with
   | Some (e : Evaluator.evaluation) when e.feasible -> (
@@ -64,27 +66,35 @@ let record st ~iteration ~evaluation ~rejection ~n_sims =
       Topo_bo.iteration;
       evaluation;
       rejection;
+      failure;
       cumulative_sims = st.total_sims;
       best_fom_so_far = Option.map snd st.best;
     }
     :: st.steps
 
-let evaluate st ~iteration topo =
-  Hashtbl.replace st.visited (Topology.to_index topo) ();
-  match
-    Evaluator.evaluate_gated ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo
-  with
+let record_outcome st ~iteration outcome =
+  match outcome with
   | Evaluator.Evaluated e ->
-    record st ~iteration ~evaluation:(Some e) ~rejection:[] ~n_sims:e.n_sims;
+    record st ~iteration ~evaluation:(Some e) ~rejection:[] ~failure:None
+      ~n_sims:e.n_sims;
     Some e
   | Evaluator.Rejected diags ->
     st.rejections <- st.rejections + 1;
-    record st ~iteration ~evaluation:None ~rejection:diags ~n_sims:0;
+    record st ~iteration ~evaluation:None ~rejection:diags ~failure:None ~n_sims:0;
     None
-  | Evaluator.Failed ->
-    record st ~iteration ~evaluation:None ~rejection:[]
+  | Evaluator.Failed reason ->
+    record st ~iteration ~evaluation:None ~rejection:[] ~failure:(Some reason)
       ~n_sims:(Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing);
     None
+
+(* Seed drawn at scheduling time: see [Into_core.Evaluator.fresh_seed]. *)
+let task_of st topo =
+  Hashtbl.replace st.visited (Topology.to_index topo) ();
+  Evaluator.task ~spec:st.spec ~sizing_config:st.cfg.sizing
+    ~seed:(Evaluator.fresh_seed st.rng) topo
+
+let evaluate st ~iteration topo =
+  record_outcome st ~iteration (st.cfg.runner.Evaluator.run_one (task_of st topo))
 
 let tournament_select st =
   let pop = Array.of_list st.population in
@@ -151,6 +161,10 @@ let run ?(config = default_config) ~rng ~spec () =
       best = None;
     }
   in
+  (* The initial population evaluates as one batch (parallel under a pooled
+     runner); outcomes are recorded in draw order, so the result matches the
+     serial interleaving exactly. *)
+  let init_tasks = ref [] in
   let added = ref 0 in
   let guard = ref 0 in
   while !added < config.population && !guard < 100 * config.population do
@@ -158,11 +172,18 @@ let run ?(config = default_config) ~rng ~spec () =
     let t = Topology.random st.rng in
     if not (Hashtbl.mem st.visited (Topology.to_index t)) then begin
       incr added;
-      match evaluate st ~iteration:0 t with
-      | Some e -> st.population <- e :: st.population
-      | None -> ()
+      init_tasks := task_of st t :: !init_tasks
     end
   done;
+  let init_outcomes =
+    config.runner.Evaluator.run_batch (Array.of_list (List.rev !init_tasks))
+  in
+  Array.iter
+    (fun outcome ->
+      match record_outcome st ~iteration:0 outcome with
+      | Some e -> st.population <- e :: st.population
+      | None -> ())
+    init_outcomes;
   for iteration = 1 to config.iterations do
     if st.population = [] then ignore (evaluate st ~iteration (Topology.random st.rng))
     else

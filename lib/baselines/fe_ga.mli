@@ -15,6 +15,9 @@ type config = {
   tournament : int;  (** tournament size *)
   mutation_probability : float;  (** per-slot *)
   sizing : Into_core.Sizing.config;
+  runner : Into_core.Evaluator.runner;
+      (** executes evaluation tasks; results are runner-independent (each
+          task carries its own seed) *)
 }
 
 val default_config : config

@@ -15,6 +15,7 @@ type config = {
   wei_w : float;
   refit_every : int;
   sizing : Into_core.Sizing.config;
+  runner : Evaluator.runner;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     wei_w = 0.5;
     refit_every = 5;
     sizing = Into_core.Sizing.default_config;
+    runner = Evaluator.serial_runner;
   }
 
 type result = {
@@ -50,7 +52,7 @@ type state = {
 
 let n_models = List.length Objective.metrics + 1
 
-let record st ~iteration ~evaluation ~rejection ~n_sims =
+let record st ~iteration ~evaluation ~rejection ~failure ~n_sims =
   st.total_sims <- st.total_sims + n_sims;
   (match evaluation with
   | Some (e : Evaluator.evaluation) ->
@@ -66,23 +68,32 @@ let record st ~iteration ~evaluation ~rejection ~n_sims =
       Topo_bo.iteration;
       evaluation;
       rejection;
+      failure;
       cumulative_sims = st.total_sims;
       best_fom_so_far = Option.map snd st.best;
     }
     :: st.steps
 
-let evaluate st ~iteration topo =
-  Hashtbl.replace st.visited (Topology.to_index topo) ();
-  match
-    Evaluator.evaluate_gated ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo
-  with
-  | Evaluator.Evaluated e -> record st ~iteration ~evaluation:(Some e) ~rejection:[] ~n_sims:e.n_sims
+let record_outcome st ~iteration outcome =
+  match outcome with
+  | Evaluator.Evaluated e ->
+    record st ~iteration ~evaluation:(Some e) ~rejection:[] ~failure:None
+      ~n_sims:e.n_sims
   | Evaluator.Rejected diags ->
     st.rejections <- st.rejections + 1;
-    record st ~iteration ~evaluation:None ~rejection:diags ~n_sims:0
-  | Evaluator.Failed ->
-    record st ~iteration ~evaluation:None ~rejection:[]
+    record st ~iteration ~evaluation:None ~rejection:diags ~failure:None ~n_sims:0
+  | Evaluator.Failed reason ->
+    record st ~iteration ~evaluation:None ~rejection:[] ~failure:(Some reason)
       ~n_sims:(Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing)
+
+(* Seed drawn at scheduling time: see [Into_core.Evaluator.fresh_seed]. *)
+let task_of st topo =
+  Hashtbl.replace st.visited (Topology.to_index topo) ();
+  Evaluator.task ~spec:st.spec ~sizing_config:st.cfg.sizing
+    ~seed:(Evaluator.fresh_seed st.rng) topo
+
+let evaluate st ~iteration topo =
+  record_outcome st ~iteration (st.cfg.runner.Evaluator.run_one (task_of st topo))
 
 let targets st =
   let xs = Array.of_list (List.map snd st.evals) in
@@ -205,6 +216,9 @@ let run ?(config = default_config) ~rng ~spec () =
       noises = Array.make n_models 1e-2;
     }
   in
+  (* Initial designs evaluate as one batch (parallel under a pooled runner);
+     outcomes recorded in draw order match the serial interleaving. *)
+  let init_tasks = ref [] in
   let added = ref 0 in
   let guard = ref 0 in
   while !added < config.n_init && !guard < 100 * config.n_init do
@@ -212,9 +226,13 @@ let run ?(config = default_config) ~rng ~spec () =
     let t = Topology.random st.rng in
     if not (Hashtbl.mem st.visited (Topology.to_index t)) then begin
       incr added;
-      evaluate st ~iteration:0 t
+      init_tasks := task_of st t :: !init_tasks
     end
   done;
+  let init_outcomes =
+    config.runner.Evaluator.run_batch (Array.of_list (List.rev !init_tasks))
+  in
+  Array.iter (record_outcome st ~iteration:0) init_outcomes;
   for iteration = 1 to config.iterations do
     bo_iteration st ~iteration
   done;

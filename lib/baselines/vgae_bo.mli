@@ -13,6 +13,9 @@ type config = {
   wei_w : float;
   refit_every : int;
   sizing : Into_core.Sizing.config;
+  runner : Into_core.Evaluator.runner;
+      (** executes evaluation tasks; results are runner-independent (each
+          task carries its own seed) *)
 }
 
 val default_config : config

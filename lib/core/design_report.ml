@@ -36,6 +36,18 @@ let sensitivity_section topo ~sizing ~cl_f =
              (fmt Sensitivity.d_gain_db "dB"))
          deltas)
 
+let outcome_summary ~cl_f = function
+  | Evaluator.Evaluated (e : Evaluator.evaluation) ->
+    Printf.sprintf "evaluated: %s  feasible=%b  (%d simulations)"
+      (Perf.to_string e.perf ~cl_f) e.feasible e.n_sims
+  | Evaluator.Rejected diags ->
+    "rejected by the static verification gate:\n"
+    ^ String.concat "\n"
+        (List.map
+           (fun d -> "  " ^ Into_analysis.Diagnostic.to_string d)
+           (Into_analysis.Diagnostic.by_severity diags))
+  | Evaluator.Failed reason -> "failed: " ^ reason
+
 let render ~models ~spec ~sizing topo =
   let cl_f = spec.Spec.cl_f in
   let perf =

@@ -6,6 +6,11 @@
     variable subcircuit, the most influential structural features, the
     exact pole/zero constellation and the remove-and-resimulate deltas. *)
 
+val outcome_summary : cl_f:float -> Evaluator.outcome -> string
+(** One evaluation outcome for human eyes: the measured performance of an
+    evaluated design, the ordered diagnostics of a rejected one, or the
+    recorded reason when every sizing attempt failed. *)
+
 val render :
   models:(string * Into_gp.Wl_gp.t) list ->
   spec:Into_circuit.Spec.t ->

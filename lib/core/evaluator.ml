@@ -16,7 +16,7 @@ type evaluation = {
 type outcome =
   | Evaluated of evaluation
   | Rejected of Diagnostic.t list
-  | Failed
+  | Failed of string
 
 let static_diagnostics ~spec topo =
   let topo_diags = Into_analysis.Topology_lint.check topo in
@@ -39,7 +39,12 @@ let evaluate_gated ?(sizing_config = Sizing.default_config) ~rng ~spec topo =
   | [] -> (
     let result = Sizing.optimize ~config:sizing_config ~rng ~spec topo in
     match Sizing.best result with
-    | None -> Failed
+    | None ->
+      Failed
+        (Printf.sprintf
+           "all %d sizing attempts (%d init + %d BO) failed behavioral simulation"
+           (sizing_config.Sizing.n_init + sizing_config.Sizing.n_iter)
+           sizing_config.Sizing.n_init sizing_config.Sizing.n_iter)
     | Some o ->
       Evaluated
         {
@@ -54,7 +59,35 @@ let evaluate_gated ?(sizing_config = Sizing.default_config) ~rng ~spec topo =
 let evaluate ?sizing_config ~rng ~spec topo =
   match evaluate_gated ?sizing_config ~rng ~spec topo with
   | Evaluated e -> Some e
-  | Rejected _ | Failed -> None
+  | Rejected _ | Failed _ -> None
 
 let sims_of_failed_evaluation ~sizing_config =
   sizing_config.Sizing.n_init + sizing_config.Sizing.n_iter
+
+let sims_of_outcome ~sizing_config = function
+  | Evaluated e -> e.n_sims
+  | Rejected _ -> 0
+  | Failed _ -> sims_of_failed_evaluation ~sizing_config
+
+type task = {
+  task_topology : Into_circuit.Topology.t;
+  task_spec : Spec.t;
+  task_sizing : Sizing.config;
+  task_seed : int;
+}
+
+let task ~spec ~sizing_config ~seed topo =
+  { task_topology = topo; task_spec = spec; task_sizing = sizing_config; task_seed = seed }
+
+let fresh_seed rng = Into_util.Rng.int rng max_int
+
+let run_task t =
+  let rng = Into_util.Rng.create ~seed:t.task_seed in
+  evaluate_gated ~sizing_config:t.task_sizing ~rng ~spec:t.task_spec t.task_topology
+
+type runner = {
+  run_one : task -> outcome;
+  run_batch : task array -> outcome array;
+}
+
+let serial_runner = { run_one = run_task; run_batch = Array.map run_task }

@@ -28,7 +28,10 @@ type outcome =
   | Rejected of Into_analysis.Diagnostic.t list
       (** static gate fired; the Error-severity diagnostics, no simulation
           budget spent *)
-  | Failed  (** every sizing attempt failed to simulate; budget spent *)
+  | Failed of string
+      (** every sizing attempt failed to simulate; budget spent.  The
+          payload records why (surfaced by [Design_report] and the campaign
+          rejection tables). *)
 
 val static_diagnostics :
   spec:Into_circuit.Spec.t -> Into_circuit.Topology.t -> Into_analysis.Diagnostic.t list
@@ -55,3 +58,48 @@ val evaluate :
 val sims_of_failed_evaluation : sizing_config:Sizing.config -> int
 (** Budget charged when the outcome is [Failed] (a [Rejected] candidate
     charges nothing). *)
+
+val sims_of_outcome : sizing_config:Sizing.config -> outcome -> int
+(** Simulation budget spent producing one outcome: [n_sims] when evaluated,
+    the failed-evaluation charge when [Failed], zero when [Rejected]. *)
+
+(** {2 The evaluation task boundary}
+
+    A {!task} is a self-contained, schedulable unit of evaluation work: it
+    carries its own seed, so running it never touches the caller's random
+    stream.  This is what makes topology evaluations safe to execute out of
+    order, on another domain, or to replay from a persistent cache
+    ([Into_runtime]) — the outcome is a pure function of the task. *)
+
+type task = {
+  task_topology : Into_circuit.Topology.t;
+  task_spec : Into_circuit.Spec.t;
+  task_sizing : Sizing.config;
+  task_seed : int;  (** seeds a private [Rng.t] for the sizing loop *)
+}
+
+val task :
+  spec:Into_circuit.Spec.t ->
+  sizing_config:Sizing.config ->
+  seed:int ->
+  Into_circuit.Topology.t ->
+  task
+
+val fresh_seed : Into_util.Rng.t -> int
+(** One bounded draw from the caller's stream, used as a task seed.  The
+    draw happens whether or not the task is later served from a cache, so
+    the caller's stream advances identically either way. *)
+
+val run_task : task -> outcome
+(** [evaluate_gated] on the task's own freshly created generator. *)
+
+type runner = {
+  run_one : task -> outcome;
+  run_batch : task array -> outcome array;  (** order-preserving *)
+}
+(** How an optimizer executes its evaluation tasks.  The default
+    {!serial_runner} computes in place; [Into_runtime.Exec.runner] swaps in
+    a cache-backed, domain-parallel implementation without the optimizer
+    noticing. *)
+
+val serial_runner : runner

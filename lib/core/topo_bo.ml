@@ -15,6 +15,7 @@ type config = {
   refit_every : int;
   h_candidates : int list;
   sizing : Sizing.config;
+  runner : Evaluator.runner;
 }
 
 let default_config strategy =
@@ -28,12 +29,14 @@ let default_config strategy =
     refit_every = 5;
     h_candidates = Wl_gp.default_h_candidates;
     sizing = Sizing.default_config;
+    runner = Evaluator.serial_runner;
   }
 
 type step = {
   iteration : int;
   evaluation : Evaluator.evaluation option;
   rejection : Into_analysis.Diagnostic.t list;
+  failure : string option;
   cumulative_sims : int;
   best_fom_so_far : float option;
 }
@@ -92,7 +95,7 @@ type state = {
   mutable hyper : (string * (int * float * float)) list;  (** per-model (h, noise, signal) *)
 }
 
-let record_step st ~iteration ~evaluation ~rejection ~n_sims =
+let record_step st ~iteration ~evaluation ~rejection ~failure ~n_sims =
   st.total_sims <- st.total_sims + n_sims;
   (match evaluation with
   | Some (e : Evaluator.evaluation) ->
@@ -108,24 +111,35 @@ let record_step st ~iteration ~evaluation ~rejection ~n_sims =
       iteration;
       evaluation;
       rejection;
+      failure;
       cumulative_sims = st.total_sims;
       best_fom_so_far = Option.map snd st.best;
     }
     :: st.steps
 
-let evaluate_topology st ~iteration topo =
-  Hashtbl.replace st.visited (Topology.to_index topo) ();
-  match
-    Evaluator.evaluate_gated ~sizing_config:st.cfg.sizing ~rng:st.rng ~spec:st.spec topo
-  with
+let record_outcome st ~iteration outcome =
+  match outcome with
   | Evaluator.Evaluated e ->
-    record_step st ~iteration ~evaluation:(Some e) ~rejection:[] ~n_sims:e.n_sims
+    record_step st ~iteration ~evaluation:(Some e) ~rejection:[] ~failure:None
+      ~n_sims:e.n_sims
   | Evaluator.Rejected diags ->
     st.rejections <- st.rejections + 1;
-    record_step st ~iteration ~evaluation:None ~rejection:diags ~n_sims:0
-  | Evaluator.Failed ->
+    record_step st ~iteration ~evaluation:None ~rejection:diags ~failure:None ~n_sims:0
+  | Evaluator.Failed reason ->
     let n_sims = Evaluator.sims_of_failed_evaluation ~sizing_config:st.cfg.sizing in
-    record_step st ~iteration ~evaluation:None ~rejection:[] ~n_sims
+    record_step st ~iteration ~evaluation:None ~rejection:[] ~failure:(Some reason)
+      ~n_sims
+
+(* The task seed is drawn from the run's stream before the evaluation is
+   scheduled, so the stream advances identically whether the outcome is
+   computed here, on another domain, or replayed from the cache. *)
+let task_of st topo =
+  Hashtbl.replace st.visited (Topology.to_index topo) ();
+  Evaluator.task ~spec:st.spec ~sizing_config:st.cfg.sizing
+    ~seed:(Evaluator.fresh_seed st.rng) topo
+
+let evaluate_topology st ~iteration topo =
+  record_outcome st ~iteration (st.cfg.runner.Evaluator.run_one (task_of st topo))
 
 let fit_models st ~full_search =
   let graphs =
@@ -242,7 +256,11 @@ let run ?config ~rng ~spec () =
       hyper = [];
     }
   in
-  (* Line 1 of Algorithm 1: random initial dataset. *)
+  (* Line 1 of Algorithm 1: random initial dataset.  The initial topologies
+     are drawn (and their task seeds fixed) up front, so the independent
+     evaluations can run as one batch — in parallel under a pooled runner,
+     with results recorded in draw order either way. *)
+  let init_tasks = ref [] in
   let init = ref 0 in
   let guard = ref 0 in
   while !init < cfg.n_init && !guard < 100 * cfg.n_init do
@@ -250,9 +268,13 @@ let run ?config ~rng ~spec () =
     let t = Topology.random st.rng in
     if not (Hashtbl.mem st.visited (Topology.to_index t)) then begin
       incr init;
-      evaluate_topology st ~iteration:0 t
+      init_tasks := task_of st t :: !init_tasks
     end
   done;
+  let init_outcomes =
+    cfg.runner.Evaluator.run_batch (Array.of_list (List.rev !init_tasks))
+  in
+  Array.iter (record_outcome st ~iteration:0) init_outcomes;
   for iteration = 1 to cfg.iterations do
     bo_iteration st ~iteration
   done;

@@ -18,6 +18,11 @@ type config = {
       (** WL iteration counts the MLE may select from (ablation knob;
           default [0; 1; 2; 3]) *)
   sizing : Sizing.config;
+  runner : Evaluator.runner;
+      (** executes the evaluation tasks (default {!Evaluator.serial_runner};
+          [Into_runtime.Exec.runner] adds caching and domain parallelism).
+          Results are independent of the runner: every task carries its own
+          seed, drawn from the run's stream at scheduling time. *)
 }
 
 val default_config : Candidates.strategy -> config
@@ -28,6 +33,9 @@ type step = {
   rejection : Into_analysis.Diagnostic.t list;
       (** non-empty iff the static verification gate rejected the candidate
           (then [evaluation = None] and the step cost no simulations) *)
+  failure : string option;
+      (** why every sizing attempt failed, when the evaluator reported
+          [Failed] (then [evaluation = None] but the budget was spent) *)
   cumulative_sims : int;
   best_fom_so_far : float option;  (** best feasible FoM after this step *)
 }

@@ -1,11 +1,15 @@
 module Spec = Into_circuit.Spec
 module Evaluator = Into_core.Evaluator
+module Exec = Into_runtime.Exec
+module Progress = Into_runtime.Progress
+module Checkpoint = Into_runtime.Checkpoint
 
 type run = {
   method_id : Methods.id;
   spec : Spec.t;
   run_index : int;
   trace : Methods.trace;
+  elapsed_s : float;
 }
 
 type t = run list
@@ -17,23 +21,82 @@ let run_seed ~seed ~method_id ~spec_name ~run_index =
   let g = Into_util.Splitmix.create h in
   Int64.to_int (Into_util.Splitmix.next_int64 g) land max_int
 
-let execute ?(progress = fun _ -> ()) ?(methods = Methods.all) ?(specs = Spec.all) ~scale
-    ~seed () =
-  List.concat_map
-    (fun spec ->
-      List.concat_map
-        (fun method_id ->
-          List.init scale.Methods.runs (fun run_index ->
-              progress
-                (Printf.sprintf "%s / %s / run %d" spec.Spec.name
-                   (Methods.name method_id) (run_index + 1));
-              let rng =
-                Into_util.Rng.create
-                  ~seed:(run_seed ~seed ~method_id ~spec_name:spec.Spec.name ~run_index)
-              in
-              { method_id; spec; run_index; trace = Methods.run method_id ~scale ~rng ~spec }))
-        methods)
-    specs
+(* [runs] is deliberately left out of the fingerprint: growing a campaign
+   from 2 to 10 runs per cell should resume the first 2 from the journal,
+   not discard them. *)
+let scale_fingerprint (s : Methods.scale) =
+  Printf.sprintf "%d;%d;%d;%d;%d" s.Methods.n_init s.Methods.iterations s.Methods.pool
+    s.Methods.sizing_init s.Methods.sizing_iters
+
+let run_key ~seed ~method_id ~spec_name ~run_index ~scale =
+  Printf.sprintf "seed=%d|method=%s|spec=%s|run=%d|scale=%s" seed
+    (Methods.name method_id) spec_name run_index (scale_fingerprint scale)
+
+let encode_trace (trace, elapsed_s) = Marshal.to_string (trace, elapsed_s) []
+
+let decode_trace payload =
+  match (Marshal.from_string payload 0 : Methods.trace * float) with
+  | v -> Some v
+  | exception _ -> None
+
+let execute ?(progress = fun (_ : Progress.event) -> ()) ?runtime ?(methods = Methods.all)
+    ?(specs = Spec.all) ~scale ~seed () =
+  let runtime = match runtime with Some r -> r | None -> Exec.create () in
+  let progress_lock = Mutex.create () in
+  let emit event =
+    Mutex.lock progress_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock progress_lock)
+      (fun () -> progress event);
+    Exec.emit runtime event
+  in
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun spec ->
+           List.concat_map
+             (fun method_id ->
+               List.init scale.Methods.runs (fun run_index -> (spec, method_id, run_index)))
+             methods)
+         specs)
+  in
+  let total = Array.length grid in
+  let checkpoint = Exec.checkpoint runtime in
+  (* Methods get a serial runner: parallelism lives at the grid level here,
+     and nesting domain pools inside worker domains would oversubscribe. *)
+  let inner_runner = Exec.runner ~jobs:1 runtime in
+  let one (i, (spec, method_id, run_index)) =
+    let label =
+      Printf.sprintf "%s / %s / run %d" spec.Spec.name (Methods.name method_id)
+        (run_index + 1)
+    in
+    let key = run_key ~seed ~method_id ~spec_name:spec.Spec.name ~run_index ~scale in
+    let restored =
+      Option.bind checkpoint (fun c ->
+          Option.bind (Checkpoint.find c ~key) decode_trace)
+    in
+    match restored with
+    | Some (trace, elapsed_s) ->
+      emit (Progress.Run_restored { label; index = i + 1; total });
+      { method_id; spec; run_index; trace; elapsed_s }
+    | None ->
+      emit (Progress.Run_started { label; index = i + 1; total });
+      let started = Unix.gettimeofday () in
+      let rng =
+        Into_util.Rng.create
+          ~seed:(run_seed ~seed ~method_id ~spec_name:spec.Spec.name ~run_index)
+      in
+      let trace = Methods.run ~runner:inner_runner method_id ~scale ~rng ~spec in
+      let elapsed_s = Unix.gettimeofday () -. started in
+      Option.iter
+        (fun c -> Checkpoint.append c ~key ~payload:(encode_trace (trace, elapsed_s)))
+        checkpoint;
+      emit (Progress.Run_finished { label; index = i + 1; total; elapsed_s });
+      { method_id; spec; run_index; trace; elapsed_s }
+  in
+  Array.to_list
+    (Into_runtime.Pool.map ~jobs:(Exec.jobs runtime) one
+       (Array.mapi (fun i cell -> (i, cell)) grid))
 
 let runs_of t method_id spec =
   List.filter
@@ -142,6 +205,35 @@ let total_candidates t method_id =
   List.fold_left
     (fun acc r -> acc + List.length r.trace.Methods.steps)
     0 (runs_of_method t method_id)
+
+let total_failures t method_id =
+  List.fold_left
+    (fun acc r ->
+      acc
+      + List.length
+          (List.filter
+             (fun (s : Into_core.Topo_bo.step) -> Option.is_some s.Into_core.Topo_bo.failure)
+             r.trace.Methods.steps))
+    0 (runs_of_method t method_id)
+
+let failure_reasons t =
+  let counts = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (s : Into_core.Topo_bo.step) ->
+          match s.Into_core.Topo_bo.failure with
+          | None -> ()
+          | Some reason ->
+            (match Hashtbl.find_opt counts reason with
+            | None ->
+              Hashtbl.add counts reason 1;
+              order := reason :: !order
+            | Some n -> Hashtbl.replace counts reason (n + 1)))
+        r.trace.Methods.steps)
+    t;
+  List.rev_map (fun reason -> (reason, Hashtbl.find counts reason)) !order
 
 let fig5_series t spec ~grid_step =
   let max_sims =

@@ -7,12 +7,27 @@ type run = {
   spec : Into_circuit.Spec.t;
   run_index : int;
   trace : Methods.trace;
+  elapsed_s : float;  (** wall clock of this run; restored runs keep the
+                          elapsed time of their original execution *)
 }
 
 type t = run list
 
+val run_key :
+  seed:int ->
+  method_id:Methods.id ->
+  spec_name:string ->
+  run_index:int ->
+  scale:Methods.scale ->
+  string
+(** Checkpoint-journal key of one grid cell.  Includes a fingerprint of
+    every scale field except [runs], so a resumed campaign never replays a
+    run recorded under different settings, while growing [runs] still
+    reuses the runs already journalled. *)
+
 val execute :
-  ?progress:(string -> unit) ->
+  ?progress:(Into_runtime.Progress.event -> unit) ->
+  ?runtime:Into_runtime.Exec.t ->
   ?methods:Methods.id list ->
   ?specs:Into_circuit.Spec.t list ->
   scale:Methods.scale ->
@@ -20,7 +35,16 @@ val execute :
   unit ->
   t
 (** Runs are seeded as [hash (seed, method, spec, run_index)], so any subset
-    reproduces the corresponding full-campaign results. *)
+    reproduces the corresponding full-campaign results.
+
+    [runtime] (default: serial, no cache, no checkpoint) supplies the worker
+    pool, outcome cache and checkpoint journal; runs execute [Exec.jobs]-way
+    parallel across the (spec, method, run) grid with per-run rng streams,
+    so results are identical at any job count.  [progress] receives
+    structured events (wrap a legacy string callback with
+    [Into_runtime.Progress.of_string_renderer]); delivery is serialized.
+    Grid cells found in the runtime's checkpoint journal are restored
+    without executing and reported as [Run_restored]. *)
 
 val runs_of : t -> Methods.id -> Into_circuit.Spec.t -> run list
 
@@ -50,6 +74,15 @@ val total_rejections : t -> Methods.id -> int
 val total_candidates : t -> Methods.id -> int
 (** Candidate evaluations attempted (steps recorded) across every spec and
     run of one method. *)
+
+val total_failures : t -> Methods.id -> int
+(** Candidates that passed the static gate but whose every sizing attempt
+    failed behavioral simulation, across every spec and run of one
+    method. *)
+
+val failure_reasons : t -> (string * int) list
+(** Distinct simulation-failure reasons across the whole campaign with
+    their occurrence counts, in first-seen order. *)
 
 val fig5_series :
   t -> Into_circuit.Spec.t -> grid_step:int -> (string * (int * float * int) list) list

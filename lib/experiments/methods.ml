@@ -30,6 +30,9 @@ let env_int key default =
   | None -> default
   | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | Some _ | None -> default)
 
+let smoke_scale =
+  { runs = 2; n_init = 4; iterations = 6; pool = 24; sizing_init = 4; sizing_iters = 6 }
+
 let scale_of_env () =
   if Sys.getenv_opt "INTO_OA_FULL" = Some "1" then paper_scale
   else
@@ -42,6 +45,12 @@ let scale_of_env () =
       sizing_iters = env_int "INTO_OA_SIZING_ITERS" 30;
     }
 
+let scale_of_name = function
+  | "smoke" -> Some smoke_scale
+  | "paper" | "full" -> Some paper_scale
+  | "env" | "default" -> Some (scale_of_env ())
+  | _ -> None
+
 type trace = {
   steps : Topo_bo.step list;
   best : Into_core.Evaluator.evaluation option;
@@ -52,16 +61,17 @@ type trace = {
 let sizing_config scale =
   { Sizing.default_config with Sizing.n_init = scale.sizing_init; n_iter = scale.sizing_iters }
 
-let bo_config scale strategy =
+let bo_config scale strategy runner =
   {
     (Topo_bo.default_config strategy) with
     Topo_bo.n_init = scale.n_init;
     iterations = scale.iterations;
     pool = scale.pool;
     sizing = sizing_config scale;
+    runner;
   }
 
-let run id ~scale ~rng ~spec =
+let run ?(runner = Into_core.Evaluator.serial_runner) id ~scale ~rng ~spec =
   match id with
   | Fe_ga ->
     let config =
@@ -70,6 +80,7 @@ let run id ~scale ~rng ~spec =
         Into_baselines.Fe_ga.population = scale.n_init;
         iterations = scale.iterations;
         sizing = sizing_config scale;
+        runner;
       }
     in
     let r = Into_baselines.Fe_ga.run ~config ~rng ~spec () in
@@ -87,6 +98,7 @@ let run id ~scale ~rng ~spec =
         iterations = scale.iterations;
         pool = scale.pool;
         sizing = sizing_config scale;
+        runner;
       }
     in
     let r = Into_baselines.Vgae_bo.run ~config ~rng ~spec () in
@@ -103,7 +115,7 @@ let run id ~scale ~rng ~spec =
       | Into_oa_m -> Candidates.Mutation_only
       | Fe_ga | Vgae_bo | Into_oa -> Candidates.Mixed
     in
-    let r = Topo_bo.run ~config:(bo_config scale strategy) ~rng ~spec () in
+    let r = Topo_bo.run ~config:(bo_config scale strategy runner) ~rng ~spec () in
     {
       steps = r.Topo_bo.steps;
       best = r.Topo_bo.best;

@@ -22,6 +22,10 @@ val paper_scale : scale
 (** 10 runs, 10 init, 50 iterations, pool 200, sizing 10+30 — the setup of
     the paper. *)
 
+val smoke_scale : scale
+(** 2 runs, 4 init, 6 iterations, pool 24, sizing 4+6 — small enough for a
+    CI smoke pass of the whole campaign. *)
+
 val scale_of_env : unit -> scale
 (** [paper_scale] overridden by the [INTO_OA_RUNS], [INTO_OA_ITERS],
     [INTO_OA_POOL], [INTO_OA_SIZING_ITERS] environment variables;
@@ -35,4 +39,17 @@ type trace = {
   rejections : int;  (** candidates the static verification gate rejected *)
 }
 
-val run : id -> scale:scale -> rng:Into_util.Rng.t -> spec:Into_circuit.Spec.t -> trace
+val scale_of_name : string -> scale option
+(** ["smoke"], ["paper"]/["full"], or ["env"]/["default"] (the
+    {!scale_of_env} setting); [None] for anything else. *)
+
+val run :
+  ?runner:Into_core.Evaluator.runner ->
+  id ->
+  scale:scale ->
+  rng:Into_util.Rng.t ->
+  spec:Into_circuit.Spec.t ->
+  trace
+(** [runner] (default [Evaluator.serial_runner]) executes every candidate
+    evaluation of the method — inject [Into_runtime.Exec.runner] for cached
+    and/or parallel evaluation; results are identical either way. *)

@@ -80,11 +80,20 @@ let lint_summary campaign =
           Methods.name m;
           string_of_int (Campaign.total_candidates campaign m);
           string_of_int (Campaign.total_rejections campaign m);
+          string_of_int (Campaign.total_failures campaign m);
         ])
       methods
   in
-  "Static verification gate: candidates rejected before simulation\n"
-  ^ Table.render ~header:[ "Method"; "Candidates"; "Rejected" ] rows
+  let table =
+    "Static verification gate: candidates rejected before simulation\n"
+    ^ Table.render ~header:[ "Method"; "Candidates"; "Rejected"; "Failed" ] rows
+  in
+  match Campaign.failure_reasons campaign with
+  | [] -> table
+  | reasons ->
+    table ^ "\nsimulation failures:\n"
+    ^ String.concat "\n"
+        (List.map (fun (reason, n) -> Printf.sprintf "  %dx %s" n reason) reasons)
 
 let perf_cells p ~cl_f =
   [

@@ -1,0 +1,94 @@
+module Evaluator = Into_core.Evaluator
+module Topology = Into_circuit.Topology
+
+let version = 1
+let magic = "INTO-OA-CACHE"
+
+type t = {
+  root : string;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_stores : int Atomic.t;
+  n_corrupt : int Atomic.t;
+}
+
+let create ~dir =
+  Fsutil.mkdir_p dir;
+  {
+    root = dir;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_stores = Atomic.make 0;
+    n_corrupt = Atomic.make 0;
+  }
+
+let dir t = t.root
+let hits t = Atomic.get t.n_hits
+let misses t = Atomic.get t.n_misses
+let stores t = Atomic.get t.n_stores
+let corrupt t = Atomic.get t.n_corrupt
+
+let key_of_task (task : Evaluator.task) =
+  let spec = task.Evaluator.task_spec in
+  let sizing = task.Evaluator.task_sizing in
+  Printf.sprintf
+    "v%d|topo=%d|spec=%s;%.17g;%.17g;%.17g;%.17g;%.17g|sizing=%d;%d;%d;%.17g;%d|seed=%d"
+    version
+    (Topology.to_index task.Evaluator.task_topology)
+    spec.Into_circuit.Spec.name spec.Into_circuit.Spec.min_gain_db
+    spec.Into_circuit.Spec.min_gbw_hz spec.Into_circuit.Spec.min_pm_deg
+    spec.Into_circuit.Spec.max_power_w spec.Into_circuit.Spec.cl_f
+    sizing.Into_core.Sizing.n_init sizing.Into_core.Sizing.n_iter
+    sizing.Into_core.Sizing.n_candidates sizing.Into_core.Sizing.wei_w
+    sizing.Into_core.Sizing.refit_every task.Evaluator.task_seed
+
+let path_of_key t ~key = Filename.concat t.root (Content_hash.hex key)
+
+(* The envelope repeats the full key: the file name is only a 64-bit hash,
+   so an exact-match check on load turns a collision into a plain miss. *)
+type envelope = {
+  env_magic : string;
+  env_version : int;
+  env_key : string;
+  env_outcome : Evaluator.outcome;
+}
+
+let find t ~key =
+  let path = path_of_key t ~key in
+  let entry =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+      let v =
+        match (Marshal.from_channel ic : envelope) with
+        | env ->
+          if
+            String.equal env.env_magic magic
+            && env.env_version = version
+            && String.equal env.env_key key
+          then Some env.env_outcome
+          else begin
+            Atomic.incr t.n_corrupt;
+            None
+          end
+        | exception _ ->
+          Atomic.incr t.n_corrupt;
+          None
+      in
+      close_in_noerr ic;
+      v
+  in
+  (match entry with
+  | Some _ -> Atomic.incr t.n_hits
+  | None -> Atomic.incr t.n_misses);
+  entry
+
+let store t ~key outcome =
+  let env =
+    { env_magic = magic; env_version = version; env_key = key; env_outcome = outcome }
+  in
+  let ok =
+    Fsutil.write_atomically ~path:(path_of_key t ~key) (fun oc ->
+        Marshal.to_channel oc env [])
+  in
+  if ok then Atomic.incr t.n_stores

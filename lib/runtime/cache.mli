@@ -1,0 +1,44 @@
+(** Persistent on-disk store of evaluation outcomes.
+
+    One file per entry under a cache directory, named by the
+    {!Content_hash.hex} of the task's canonical key.  Entries are Marshal
+    envelopes carrying a magic string, a format version, and the full key,
+    so hash collisions, truncated writes, and stale formats are all
+    detected on load and answered with a recompute — a cache read never
+    raises.  Safe for concurrent writers: entries land via atomic rename
+    and the store is append-only (same key always maps to the same
+    outcome, so last-write-wins races are benign). *)
+
+type t
+
+val version : int
+(** Bumped whenever the key derivation or the marshalled payload layout
+    changes; older entries are then treated as misses. *)
+
+val create : dir:string -> t
+(** Open (creating if needed) the store rooted at [dir]. *)
+
+val dir : t -> string
+
+val key_of_task : Into_core.Evaluator.task -> string
+(** Canonical textual key: format version, topology index, every spec and
+    sizing-config field ([%.17g] for floats, so distinct values never
+    alias), and the task seed. *)
+
+val find : t -> key:string -> Into_core.Evaluator.outcome option
+(** [None] on miss, on any unreadable/corrupt entry, and on a key whose
+    stored envelope does not match exactly (hash collision). *)
+
+val store : t -> key:string -> Into_core.Evaluator.outcome -> unit
+(** Best-effort: an unwritable cache directory degrades the cache to a
+    no-op rather than failing the evaluation. *)
+
+(** Lifetime counters for this handle (all {!Atomic}, so worker domains
+    may share one [t]). *)
+
+val hits : t -> int
+val misses : t -> int
+val stores : t -> int
+
+val corrupt : t -> int
+(** Entries that existed on disk but failed validation. *)

@@ -1,0 +1,125 @@
+let magic = "INTO-OA-CKPT"
+let version = 1
+
+type frame = {
+  frame_magic : string;
+  frame_version : int;
+  frame_key : string;
+  frame_payload : string;
+}
+
+type t = {
+  path : string;
+  mutable oc : out_channel option;
+  table : (string, string) Hashtbl.t;
+  mutable order : string list;  (** journal order, reversed *)
+  n_restored : int;
+  lock : Mutex.t;
+}
+
+(* Read frames until the first decode error, reporting how many bytes of
+   the file were valid so the caller can truncate the corrupt tail. *)
+let load_valid_prefix path =
+  match open_in_bin path with
+  | exception Sys_error _ -> ([], 0)
+  | ic ->
+    let rec loop acc valid_end =
+      match (Marshal.from_channel ic : frame) with
+      | f when String.equal f.frame_magic magic && f.frame_version = version ->
+        loop ((f.frame_key, f.frame_payload) :: acc) (pos_in ic)
+      | _ -> (List.rev acc, valid_end)
+      | exception _ -> (List.rev acc, valid_end)
+    in
+    let frames, valid_end = loop [] 0 in
+    close_in_noerr ic;
+    (frames, valid_end)
+
+let start ~path ~fresh =
+  Fsutil.mkdir_p (Filename.dirname path);
+  let restored =
+    if fresh then []
+    else begin
+      let frames, valid_end = load_valid_prefix path in
+      if Sys.file_exists path then begin
+        match Unix.truncate path valid_end with
+        | () -> ()
+        | exception Unix.Unix_error (_, _, _) -> ()
+      end;
+      frames
+    end
+  in
+  let oc =
+    let flags =
+      if fresh then [ Open_wronly; Open_creat; Open_trunc; Open_binary ]
+      else [ Open_wronly; Open_creat; Open_append; Open_binary ]
+    in
+    match open_out_gen flags 0o644 path with
+    | oc -> Some oc
+    | exception Sys_error _ -> None
+  in
+  let table = Hashtbl.create 64 in
+  let order =
+    List.rev_map
+      (fun (key, payload) ->
+        if not (Hashtbl.mem table key) then Hashtbl.add table key payload;
+        key)
+      restored
+  in
+  {
+    path;
+    oc;
+    table;
+    order;
+    n_restored = List.length restored;
+    lock = Mutex.create ();
+  }
+
+let restored t = t.n_restored
+let find t ~key = Hashtbl.find_opt t.table key
+
+let append t ~key ~payload =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.add t.table key payload;
+        t.order <- key :: t.order
+      end;
+      match t.oc with
+      | None -> ()
+      | Some oc -> (
+        let frame =
+          {
+            frame_magic = magic;
+            frame_version = version;
+            frame_key = key;
+            frame_payload = payload;
+          }
+        in
+        match
+          Marshal.to_channel oc frame [];
+          flush oc
+        with
+        | () -> ()
+        | exception Sys_error _ -> t.oc <- None))
+
+let entries t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      List.rev_map
+        (fun key -> (key, Hashtbl.find t.table key))
+        t.order)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        close_out_noerr oc;
+        t.oc <- None)

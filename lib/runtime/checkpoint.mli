@@ -1,0 +1,30 @@
+(** Checkpoint journal: an append-only log of completed campaign runs.
+
+    Each record is a (key, payload) pair framed as a Marshal envelope with
+    a magic string and format version.  On [start], the valid prefix of an
+    existing journal is loaded and any trailing partial record (a crash
+    mid-append) is truncated away, so a journal is always safe to resume
+    from.  Appends are mutex-protected and flushed immediately, making the
+    journal crash-consistent record by record. *)
+
+type t
+
+val start : path:string -> fresh:bool -> t
+(** Open the journal at [path].  [fresh:true] discards any existing
+    records; [fresh:false] resumes, keeping the valid prefix. *)
+
+val restored : t -> int
+(** Number of records loaded from disk at [start] time. *)
+
+val find : t -> key:string -> string option
+(** Payload previously recorded for [key] (restored or appended). *)
+
+val append : t -> key:string -> payload:string -> unit
+(** Record a completed unit of work.  Thread/domain-safe.  A key appended
+    twice keeps the first payload on lookup.  Best-effort on an unwritable
+    path: lookups still work, persistence is lost. *)
+
+val entries : t -> (string * string) list
+(** All records, restored and appended, in journal order. *)
+
+val close : t -> unit

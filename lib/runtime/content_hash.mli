@@ -1,0 +1,12 @@
+(** Stable content hashing for cache keys.
+
+    FNV-1a over the key's canonical string form.  64-bit, deterministic
+    across processes and OCaml versions — unlike [Hashtbl.hash], which only
+    promises stability within one runtime. *)
+
+val fnv1a64 : string -> int64
+(** FNV-1a with the standard 64-bit offset basis and prime. *)
+
+val hex : string -> string
+(** 16-character lowercase hex digest of {!fnv1a64}, suitable as a file
+    name. *)

@@ -1,0 +1,101 @@
+module Evaluator = Into_core.Evaluator
+
+type t = {
+  n_jobs : int;
+  cache : Cache.t option;
+  checkpoint : Checkpoint.t option;
+  on_event : Progress.event -> unit;
+  event_lock : Mutex.t;
+  n_computed : int Atomic.t;
+  started_at : float;
+}
+
+let create ?(jobs = 1) ?cache ?checkpoint ?(on_event = fun _ -> ()) () =
+  {
+    n_jobs = (if jobs <= 0 then Pool.default_jobs () else jobs);
+    cache;
+    checkpoint;
+    on_event;
+    event_lock = Mutex.create ();
+    n_computed = Atomic.make 0;
+    started_at = Unix.gettimeofday ();
+  }
+
+let jobs t = t.n_jobs
+let cache t = t.cache
+let checkpoint t = t.checkpoint
+
+let emit t event =
+  Mutex.lock t.event_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.event_lock) (fun () -> t.on_event event)
+
+let compute t task =
+  Atomic.incr t.n_computed;
+  Evaluator.run_task task
+
+let evaluate t task =
+  match t.cache with
+  | None -> compute t task
+  | Some cache -> (
+    let key = Cache.key_of_task task in
+    match Cache.find cache ~key with
+    | Some outcome -> outcome
+    | None ->
+      let outcome = compute t task in
+      Cache.store cache ~key outcome;
+      outcome)
+
+let runner ?jobs:override t =
+  let batch_jobs = match override with Some j -> j | None -> t.n_jobs in
+  {
+    Evaluator.run_one = evaluate t;
+    run_batch = Pool.map ~jobs:batch_jobs (evaluate t);
+  }
+
+let computed t = Atomic.get t.n_computed
+
+type stats = {
+  workers : int;
+  elapsed_s : float;
+  n_computed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_stores : int;
+  cache_corrupt : int;
+  restored_runs : int;
+}
+
+let stats t =
+  let hits, misses, stores, corrupt =
+    match t.cache with
+    | None -> (0, 0, 0, 0)
+    | Some c -> (Cache.hits c, Cache.misses c, Cache.stores c, Cache.corrupt c)
+  in
+  {
+    workers = t.n_jobs;
+    elapsed_s = Unix.gettimeofday () -. t.started_at;
+    n_computed = Atomic.get t.n_computed;
+    cache_hits = hits;
+    cache_misses = misses;
+    cache_stores = stores;
+    cache_corrupt = corrupt;
+    restored_runs = (match t.checkpoint with None -> 0 | Some c -> Checkpoint.restored c);
+  }
+
+let summary t =
+  let s = stats t in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "runtime: %d worker%s, %.1f s wall clock\n" s.workers
+       (if s.workers = 1 then "" else "s")
+       s.elapsed_s);
+  let lookups = s.cache_hits + s.cache_misses in
+  let hit_rate = if lookups = 0 then 0.0 else 100.0 *. float_of_int s.cache_hits /. float_of_int lookups in
+  Buffer.add_string buf
+    (Printf.sprintf "evaluations: %d computed, cache hits: %d (%.1f%% hit rate), %d stored"
+       s.n_computed s.cache_hits hit_rate s.cache_stores);
+  if s.cache_corrupt > 0 then
+    Buffer.add_string buf (Printf.sprintf ", %d corrupt entries recomputed" s.cache_corrupt);
+  if s.restored_runs > 0 then
+    Buffer.add_string buf (Printf.sprintf "\ncheckpoint: %d runs restored" s.restored_runs);
+  Buffer.contents buf

@@ -1,0 +1,63 @@
+(** The evaluation engine: ties the work {!Pool}, the outcome {!Cache} and
+    the {!Checkpoint} journal together behind the
+    [Into_core.Evaluator.runner] injection point.
+
+    One engine is shared by every worker domain of a campaign, so all of
+    its state is mutex- or atomically-protected.  Because every
+    [Evaluator.task] carries its own seed, an engine-backed runner is
+    result-identical to [Evaluator.serial_runner] at any job count and any
+    cache temperature — only wall clock and simulation counts change. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?checkpoint:Checkpoint.t ->
+  ?on_event:(Progress.event -> unit) ->
+  unit ->
+  t
+(** [jobs] defaults to [1] (serial); [0] or negative means one worker per
+    core.  Without [cache] every task is computed; without [checkpoint]
+    nothing is journalled. *)
+
+val jobs : t -> int
+(** Resolved worker count (auto-detection already applied). *)
+
+val cache : t -> Cache.t option
+val checkpoint : t -> Checkpoint.t option
+
+val emit : t -> Progress.event -> unit
+(** Deliver an event to the [on_event] callback, serialized under a mutex
+    so concurrent worker domains never interleave lines. *)
+
+val evaluate : t -> Into_core.Evaluator.task -> Into_core.Evaluator.outcome
+(** Cache lookup, then [Evaluator.run_task] on a miss (storing the fresh
+    outcome back). *)
+
+val runner : ?jobs:int -> t -> Into_core.Evaluator.runner
+(** A cache-backed [Evaluator.runner] for injection into [Topo_bo] and the
+    baselines.  [jobs] overrides the engine's worker count for
+    [run_batch] — campaigns that already parallelize across runs pass
+    [~jobs:1] to keep inner evaluation serial and avoid nested domains. *)
+
+val computed : t -> int
+(** Tasks actually evaluated (cache misses) through this engine. *)
+
+type stats = {
+  workers : int;
+  elapsed_s : float;  (** wall clock since [create] *)
+  n_computed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_stores : int;
+  cache_corrupt : int;
+  restored_runs : int;  (** checkpoint records loaded at startup *)
+}
+
+val stats : t -> stats
+
+val summary : t -> string
+(** Multi-line human-readable account of {!stats}.  Always contains the
+    literal substring ["cache hits: <n>"] — CI greps for it to assert a
+    warm rerun hit the cache. *)

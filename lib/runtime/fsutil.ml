@@ -1,0 +1,37 @@
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if String.length parent < String.length dir then mkdir_p parent;
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  end
+
+let counter = Atomic.make 0
+
+let write_atomically ~path f =
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+      (Atomic.fetch_and_add counter 1)
+  in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> false
+  | oc -> (
+    let written =
+      match f oc with
+      | () -> true
+      | exception _ -> false
+    in
+    close_out_noerr oc;
+    if written then
+      match Sys.rename tmp path with
+      | () -> true
+      | exception Sys_error _ ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        false
+    else begin
+      (try Sys.remove tmp with Sys_error _ -> ());
+      false
+    end)

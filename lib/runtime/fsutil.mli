@@ -1,0 +1,12 @@
+(** Small filesystem helpers shared by the cache and checkpoint stores. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents; existing directories are
+    fine.  Creation failures other than "already exists" surface when the
+    directory is first written to, not here. *)
+
+val write_atomically : path:string -> (out_channel -> unit) -> bool
+(** Write through a unique sibling temp file, then [rename] onto [path] —
+    readers never observe a half-written file, and concurrent writers of
+    the same path last-win with either's complete content.  Returns [false]
+    (leaving no temp file behind) when the write failed. *)

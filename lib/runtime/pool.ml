@@ -1,0 +1,37 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f xs =
+  let n = Array.length xs in
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let workers = min jobs n in
+  if workers <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Each slot is written by exactly one worker; [Domain.join] publishes
+       the writes to the collecting domain. *)
+    let body () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            match f xs.(i) with
+            | v -> Ok v
+            | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn body) in
+    body ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (exn, bt)) -> Printexc.raise_with_backtrace exn bt
+        | None -> assert false)
+      results
+  end

@@ -1,0 +1,18 @@
+(** Domain-based work pool.
+
+    [map] executes independent pieces of work on a fixed set of worker
+    domains (OCaml 5 [Domain.spawn]) draining a shared index counter.  The
+    result array preserves input order, so a parallel map is
+    result-identical to a serial one whenever the work items are
+    independent — which every [Into_core.Evaluator.task] is by
+    construction. *)
+
+val default_jobs : unit -> int
+(** One worker per core ([Domain.recommended_domain_count]). *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [Array.map f xs] computed by [min jobs (length xs)]
+    domains (the calling domain participates).  [jobs <= 0] means
+    {!default_jobs}; [jobs = 1] runs serially in the calling domain with no
+    domain spawned.  The first exception raised by any [f] is re-raised
+    (with its backtrace) after all workers have drained. *)

@@ -1,0 +1,16 @@
+type event =
+  | Run_started of { label : string; index : int; total : int }
+  | Run_finished of { label : string; index : int; total : int; elapsed_s : float }
+  | Run_restored of { label : string; index : int; total : int }
+
+let render = function
+  | Run_started { label; index; total } -> Printf.sprintf "[%d/%d] %s" index total label
+  | Run_finished { label; index; total; elapsed_s } ->
+    Printf.sprintf "[%d/%d] %s  done in %.1f s" index total label elapsed_s
+  | Run_restored { label; index; total } ->
+    Printf.sprintf "[%d/%d] %s  restored from checkpoint" index total label
+
+let of_string_renderer f = function
+  | Run_started _ as e -> f (render e)
+  | Run_restored _ as e -> f (render e)
+  | Run_finished _ -> ()

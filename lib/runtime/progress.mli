@@ -1,0 +1,22 @@
+(** Structured progress events for long-running campaigns.
+
+    Replaces the old [string -> unit] progress callback: consumers that
+    want machine-readable progress (counting restored runs in a test,
+    driving a UI) match on the event; consumers that only want a line of
+    text go through {!render} or wrap a legacy string callback with
+    {!of_string_renderer}. *)
+
+type event =
+  | Run_started of { label : string; index : int; total : int }
+      (** [index] is 1-based within the campaign grid of [total] runs. *)
+  | Run_finished of { label : string; index : int; total : int; elapsed_s : float }
+  | Run_restored of { label : string; index : int; total : int }
+      (** The run was replayed from the checkpoint journal, not executed. *)
+
+val render : event -> string
+(** One human-readable line, e.g. ["[3/45] S-1 / INTO-OA / run 2"]. *)
+
+val of_string_renderer : (string -> unit) -> event -> unit
+(** Adapt a legacy string callback: forwards {!render} of [Run_started]
+    and [Run_restored] (one line per run, as the old API did) and drops
+    [Run_finished]. *)

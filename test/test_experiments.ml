@@ -64,7 +64,7 @@ let synthetic_steps =
   (* (cumulative_sims, best_fom_so_far) *)
   List.map
     (fun (sims, best) ->
-      { Topo_bo.iteration = 0; evaluation = None; rejection = []; cumulative_sims = sims; best_fom_so_far = best })
+      { Topo_bo.iteration = 0; evaluation = None; rejection = []; failure = None; cumulative_sims = sims; best_fom_so_far = best })
     [ (40, None); (80, Some 10.0); (120, Some 10.0); (160, Some 25.0) ]
 
 let test_best_fom_at () =
@@ -93,7 +93,7 @@ let test_mean_curve () =
   let run2 =
     List.map
       (fun (sims, best) ->
-        { Topo_bo.iteration = 0; evaluation = None; rejection = []; cumulative_sims = sims; best_fom_so_far = best })
+        { Topo_bo.iteration = 0; evaluation = None; rejection = []; failure = None; cumulative_sims = sims; best_fom_so_far = best })
       [ (40, Some 20.0); (80, Some 20.0) ]
   in
   let curve = Curves.mean_curve [ synthetic_steps; run2 ] ~grid:[ 40; 80 ] in
