@@ -28,6 +28,7 @@ let jobs = ref 1
 let cache_dir = ref ".into-oa-cache"
 let no_cache = ref false
 let resume = ref false
+let chaos = ref ""
 
 let parse_args () =
   let spec =
@@ -39,6 +40,9 @@ let parse_args () =
         "DIR evaluation cache / checkpoint directory (default .into-oa-cache)" );
       ("--no-cache", Arg.Set no_cache, " disable the persistent evaluation cache");
       ("--resume", Arg.Set resume, " resume the campaign from its checkpoint journal");
+      ( "--chaos",
+        Arg.Set_string chaos,
+        "SPEC arm deterministic fault injection, e.g. seed=7,delay=0.2,crash=0.1" );
     ]
   in
   Arg.parse spec
@@ -54,7 +58,16 @@ let make_runtime () =
       ~path:(Filename.concat !cache_dir "bench.ckpt")
       ~fresh:(not !resume)
   in
-  Into_runtime.Exec.create ~jobs:!jobs ?cache ~checkpoint ()
+  let faultin =
+    if !chaos = "" then None
+    else
+      match Into_runtime.Faultin.parse !chaos with
+      | Ok fi -> Some fi
+      | Error msg ->
+        Printf.eprintf "bad --chaos spec: %s\n" msg;
+        exit 2
+  in
+  Into_runtime.Exec.create ~jobs:!jobs ?cache ~checkpoint ?faultin ()
 
 (* --- E8: micro-benchmarks --- *)
 

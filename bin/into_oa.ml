@@ -45,7 +45,15 @@ let seed_arg =
 
 (* --- runtime engine flags (shared by optimize / evaluate / tables) --- *)
 
-type runtime_flags = { jobs : int; cache_dir : string; no_cache : bool; resume : bool }
+type runtime_flags = {
+  jobs : int;
+  cache_dir : string;
+  no_cache : bool;
+  resume : bool;
+  retries : int;
+  task_deadline : float option;
+  chaos : string option;
+}
 
 let runtime_term =
   let jobs =
@@ -70,8 +78,29 @@ let runtime_term =
              ~doc:"Resume from the checkpoint journal left by an interrupted invocation \
                    instead of starting fresh.")
   in
-  Term.(const (fun jobs cache_dir no_cache resume -> { jobs; cache_dir; no_cache; resume })
-        $ jobs $ cache_dir $ no_cache $ resume)
+  let retries =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retries per failed evaluation task (default 2). Transient failures \
+                   re-run the same task after a backoff; numerical ones re-seed \
+                   deterministically.")
+  in
+  let task_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "task-deadline" ] ~docv:"SECS"
+             ~doc:"Cooperative wall-clock deadline per sizing run; an expired task is \
+                   classified as a timeout and retried. Default: none.")
+  in
+  let chaos =
+    Arg.(value & opt (some string) None
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Arm the deterministic fault-injection harness, e.g. \
+                   $(b,seed=7,delay=0.2,crash=0.1). Sites: singular, nan, delay, crash, \
+                   cache, tear; $(b,all) sets every rate; rates in [0,1].")
+  in
+  Term.(const (fun jobs cache_dir no_cache resume retries task_deadline chaos ->
+            { jobs; cache_dir; no_cache; resume; retries; task_deadline; chaos })
+        $ jobs $ cache_dir $ no_cache $ resume $ retries $ task_deadline $ chaos)
 
 let make_runtime ?journal flags =
   let cache =
@@ -86,7 +115,24 @@ let make_runtime ?journal flags =
           ~fresh:(not flags.resume))
       journal
   in
-  Into_runtime.Exec.create ~jobs:flags.jobs ?cache ?checkpoint ()
+  let faultin =
+    Option.map
+      (fun spec ->
+        match Into_runtime.Faultin.parse spec with
+        | Ok fi -> fi
+        | Error msg ->
+          Printf.eprintf "bad --chaos spec: %s\n" msg;
+          exit 2)
+      flags.chaos
+  in
+  let supervise =
+    {
+      Into_runtime.Supervise.default_policy with
+      Into_runtime.Supervise.max_retries = max 0 flags.retries;
+      deadline_s = flags.task_deadline;
+    }
+  in
+  Into_runtime.Exec.create ~jobs:flags.jobs ?cache ?checkpoint ~supervise ?faultin ()
 
 (* The summary goes to stderr so stdout stays identical across -j values. *)
 let finish_runtime runtime =
@@ -283,15 +329,20 @@ let analyze index spec seed spice =
     Printf.printf "unity-feedback stable: %b\n\n"
       (List.for_all (fun z -> z.Complex.re < 0.0) closed);
     let w = Into_circuit.Transient.step_response netlist in
-    let m = Into_circuit.Transient.measure w in
-    Printf.printf "closed-loop step: overshoot %.1f%%, settling %s\n"
-      m.Into_circuit.Transient.overshoot_pct
-      (match m.Into_circuit.Transient.settling_time_s with
-      | Some t -> Printf.sprintf "%.3g s (1%% band)" t
-      | None -> "did not settle");
+    (match Into_circuit.Transient.measure w with
+    | None -> print_endline "closed-loop step: no DC operating point (singular at DC)"
+    | Some m ->
+      Printf.printf "closed-loop step: overshoot %.1f%%, settling %s\n"
+        m.Into_circuit.Transient.overshoot_pct
+        (match m.Into_circuit.Transient.settling_time_s with
+        | Some t -> Printf.sprintf "%.3g s (1%% band)" t
+        | None -> "did not settle"));
     let nz = Into_circuit.Noise.analyze netlist in
-    Printf.printf "noise: %.3g Vrms at the output, %.1f nV/sqrt(Hz) input-referred\n"
-      nz.Into_circuit.Noise.output_rms_v nz.Into_circuit.Noise.input_spot_nv;
+    Printf.printf "noise: %.3g Vrms at the output, %s input-referred\n"
+      nz.Into_circuit.Noise.output_rms_v
+      (match nz.Into_circuit.Noise.input_spot_nv with
+      | Some v -> Printf.sprintf "%.1f nV/sqrt(Hz)" v
+      | None -> "n/a (zero signal gain)");
     let mc =
       Into_circuit.Montecarlo.run ~rng:(Into_util.Rng.create ~seed:(seed + 1)) ~spec topo
         ~sizing

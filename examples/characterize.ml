@@ -46,7 +46,6 @@ let () =
 
   (* Closed-loop step response. *)
   let w = Into_circuit.Transient.step_response netlist in
-  let m = Into_circuit.Transient.measure w in
   let pts =
     Array.to_list (Array.mapi (fun i t -> (t, w.Into_circuit.Transient.vout.(i))) w.Into_circuit.Transient.time_s)
   in
@@ -54,15 +53,21 @@ let () =
   print_string
     (Into_util.Ascii_plot.plot ~height:14 ~x_label:"t (s)" ~y_label:"vout"
        [ ("step", pts) ]);
-  Printf.printf "overshoot %.1f%%  settling %s\n\n" m.Into_circuit.Transient.overshoot_pct
-    (match m.Into_circuit.Transient.settling_time_s with
-    | Some t -> Printf.sprintf "%.3g s" t
-    | None -> "(never)");
+  (match Into_circuit.Transient.measure w with
+  | None -> print_endline "no DC operating point: settling metrics unavailable\n"
+  | Some m ->
+    Printf.printf "overshoot %.1f%%  settling %s\n\n" m.Into_circuit.Transient.overshoot_pct
+      (match m.Into_circuit.Transient.settling_time_s with
+      | Some t -> Printf.sprintf "%.3g s" t
+      | None -> "(never)"));
 
   (* Noise and Monte-Carlo yield. *)
   let nz = Into_circuit.Noise.analyze netlist in
-  Printf.printf "Noise: %.3g Vrms output, %.1f nV/sqrt(Hz) input-referred (%d sources)\n"
-    nz.Into_circuit.Noise.output_rms_v nz.Into_circuit.Noise.input_spot_nv
+  Printf.printf "Noise: %.3g Vrms output, %s input-referred (%d sources)\n"
+    nz.Into_circuit.Noise.output_rms_v
+    (match nz.Into_circuit.Noise.input_spot_nv with
+    | Some v -> Printf.sprintf "%.1f nV/sqrt(Hz)" v
+    | None -> "n/a")
     nz.Into_circuit.Noise.n_sources;
   let mc =
     Into_circuit.Montecarlo.run ~rng:(Into_util.Rng.create ~seed:32) ~spec topo ~sizing

@@ -1,6 +1,6 @@
 type result = {
   output_rms_v : float;
-  input_spot_nv : float;
+  input_spot_nv : float option;
   n_sources : int;
 }
 
@@ -55,9 +55,11 @@ let analyze ?(f_lo = 1.0) ?(f_hi = 1e8) ?(points_per_decade = 6) netlist =
   done;
   let f_center = sqrt (f_lo *. f_hi) in
   let gain2 = Complex.norm2 (Mna.transfer netlist ~freq_hz:f_center) in
+  (* A dead signal path has no input-referred noise — dividing by a zero
+     gain would manufacture a NaN (or inf), not a density. *)
   let input_spot =
-    if gain2 <= 0.0 then Float.nan
-    else sqrt (output_psd netlist srcs f_center /. gain2) *. 1e9
+    if gain2 <= 0.0 then None
+    else Some (sqrt (output_psd netlist srcs f_center /. gain2) *. 1e9)
   in
   {
     output_rms_v = sqrt (Float.max !integral 0.0);

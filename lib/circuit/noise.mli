@@ -14,8 +14,10 @@
 
 type result = {
   output_rms_v : float;  (** integrated output noise over the band *)
-  input_spot_nv : float;
-      (** input-referred density at the geometric band center, nV/sqrt(Hz) *)
+  input_spot_nv : float option;
+      (** input-referred density at the geometric band center, nV/sqrt(Hz);
+          [None] when the signal gain at the band center is zero (nothing to
+          refer the noise to — previously this divided by zero into NaN) *)
   n_sources : int;
 }
 

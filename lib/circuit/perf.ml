@@ -5,14 +5,29 @@ type t = {
   power_w : float;
 }
 
+let non_finite_field t =
+  if not (Float.is_finite t.gain_db) then Some "gain_db"
+  else if not (Float.is_finite t.gbw_hz) then Some "gbw_hz"
+  else if not (Float.is_finite t.pm_deg) then Some "pm_deg"
+  else if not (Float.is_finite t.power_w) then Some "power_w"
+  else None
+
+let is_finite t = non_finite_field t = None
+
+(* A non-finite record compares as strictly worse than any real design:
+   NaN would silently win every "best >= candidate" comparison (all NaN
+   comparisons are false), so the FoM is pinned to -inf instead. *)
 let fom t ~cl_f =
-  let gbw_mhz = t.gbw_hz /. 1e6 in
-  let cl_pf = cl_f /. 1e-12 in
-  let power_mw = Float.max (t.power_w /. 1e-3) 1e-12 in
-  gbw_mhz *. cl_pf /. power_mw
+  if not (Float.is_finite t.gbw_hz && Float.is_finite t.power_w) then Float.neg_infinity
+  else
+    let gbw_mhz = t.gbw_hz /. 1e6 in
+    let cl_pf = cl_f /. 1e-12 in
+    let power_mw = Float.max (t.power_w /. 1e-3) 1e-12 in
+    gbw_mhz *. cl_pf /. power_mw
 
 let satisfies t spec =
-  t.gain_db > spec.Spec.min_gain_db
+  is_finite t
+  && t.gain_db > spec.Spec.min_gain_db
   && t.gbw_hz > spec.Spec.min_gbw_hz
   && t.pm_deg > spec.Spec.min_pm_deg
   && t.power_w < spec.Spec.max_power_w
@@ -49,18 +64,32 @@ let stability_checked_pm netlist pm =
   | true, _ | _, true -> Float.min pm (-90.0)
   | exception Into_linalg.Eig.No_convergence -> Float.min pm (-90.0)
 
+let evaluate_checked ?process topo ~sizing ~cl_f =
+  match
+    let netlist = Netlist.build ?process topo ~sizing ~cl_f in
+    match Ac.analyze netlist with
+    | None -> Error `Singular
+    | Some ac ->
+      let t =
+        {
+          gain_db = ac.Ac.gain_db;
+          gbw_hz = ac.Ac.gbw_hz;
+          pm_deg = stability_checked_pm netlist ac.Ac.pm_deg;
+          power_w = netlist.Netlist.power_w;
+        }
+      in
+      (match non_finite_field t with
+      | Some field -> Error (`Non_finite field)
+      | None -> Ok t)
+  with
+  | r -> r
+  | exception Mna.Singular -> Error `Singular
+  | exception Into_linalg.Lu.Singular -> Error `Singular
+  | exception Into_linalg.Cmat.Singular -> Error `Singular
+  | exception Into_linalg.Eig.No_convergence -> Error `No_convergence
+
 let evaluate ?process topo ~sizing ~cl_f =
-  let netlist = Netlist.build ?process topo ~sizing ~cl_f in
-  match Ac.analyze netlist with
-  | None -> None
-  | Some ac ->
-    Some
-      {
-        gain_db = ac.Ac.gain_db;
-        gbw_hz = ac.Ac.gbw_hz;
-        pm_deg = stability_checked_pm netlist ac.Ac.pm_deg;
-        power_w = netlist.Netlist.power_w;
-      }
+  Result.to_option (evaluate_checked ?process topo ~sizing ~cl_f)
 
 let to_string t ~cl_f =
   Printf.sprintf "Gain=%.2fdB GBW=%.3fMHz PM=%.2fdeg Power=%.2fuW FoM=%.2f"

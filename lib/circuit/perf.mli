@@ -9,10 +9,18 @@ type t = {
   power_w : float;
 }
 
+val is_finite : t -> bool
+(** All four metrics are finite (no NaN, no infinity).  Non-finite records
+    must never reach a surrogate model or a best-so-far comparison: NaN
+    wins every [>=] guard silently. *)
+
 val fom : t -> cl_f:float -> float
+(** [Float.neg_infinity] (strictly worse than any real design, and safe in
+    comparisons, unlike NaN) when GBW or power is non-finite. *)
 
 val satisfies : t -> Spec.t -> bool
-(** All four Table-I constraints hold. *)
+(** All four Table-I constraints hold; always false for a record that
+    fails {!is_finite}. *)
 
 val violation : t -> Spec.t -> float
 (** Sum of normalized constraint violations; 0 iff {!satisfies}. *)
@@ -28,10 +36,23 @@ val stability_checked_pm : Netlist.t -> float -> float
     oscillate, making the AC sweep meaningless) or unity-feedback unstable
     are forced to a margin of at most -90 degrees. *)
 
+val evaluate_checked :
+  ?process:Process.t ->
+  Topology.t ->
+  sizing:float array ->
+  cl_f:float ->
+  (t, [ `Singular | `No_convergence | `Non_finite of string ]) result
+(** Full evaluation: expand the netlist, run the AC analysis with the
+    eigenvalue stability guard, attach static power.  Failures come back
+    typed instead of raising or collapsing into an option: [`Singular] for
+    a numerically singular system (from any solver layer),
+    [`No_convergence] for an eigensolver that escaped the stability guard,
+    [`Non_finite field] when a NaN/inf leaked into the named metric.  A
+    returned [Ok] record always passes {!is_finite}. *)
+
 val evaluate :
   ?process:Process.t -> Topology.t -> sizing:float array -> cl_f:float -> t option
-(** Full evaluation: expand the netlist, run the AC analysis with the
-    eigenvalue stability guard, attach static power.  [None] when the
-    simulation fails (singular system). *)
+(** {!evaluate_checked} collapsed to an option for callers that don't
+    classify ([None] on any failure). *)
 
 val to_string : t -> cl_f:float -> string

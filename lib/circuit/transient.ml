@@ -4,7 +4,7 @@ module Lu = Into_linalg.Lu
 type waveform = {
   time_s : float array;
   vout : float array;
-  final_value : float;
+  final_value : float option;
 }
 
 type metrics = {
@@ -64,16 +64,17 @@ let step_response ?(closed_loop = true) ?t_end ?(points = 2000) netlist =
     time_s.(k) <- float_of_int k *. h;
     vout.(k) <- !x.(sys.Linear_system.output)
   done;
-  (* DC target of the step. *)
+  (* DC target of the step.  A singular conductance matrix has no DC
+     operating point: the target is reported as absent rather than NaN, so
+     settling metrics can't silently compare against NaN downstream. *)
   let final_value =
     match Lu.solve_system (Mat.copy sys.Linear_system.g) sys.Linear_system.b_g with
-    | dc -> dc.(sys.Linear_system.output)
-    | exception Lu.Singular -> Float.nan
+    | dc -> Some dc.(sys.Linear_system.output)
+    | exception Lu.Singular -> None
   in
   { time_s; vout; final_value }
 
-let measure ?(band = 0.01) w =
-  let final = w.final_value in
+let measure_against ~band w final =
   let scale = Float.max (Float.abs final) 1e-12 in
   let peak =
     Array.fold_left
@@ -96,3 +97,6 @@ let measure ?(band = 0.01) w =
     | Some i -> (Some w.time_s.(i + 1), true)
   in
   { overshoot_pct = 100.0 *. peak /. scale; settling_time_s; settled }
+
+let measure ?(band = 0.01) w =
+  Option.map (measure_against ~band w) w.final_value

@@ -11,7 +11,11 @@
 type waveform = {
   time_s : float array;
   vout : float array;
-  final_value : float;  (** DC target of the response *)
+  final_value : float option;
+      (** DC target of the response; [None] when the conductance matrix is
+          singular (no DC operating point exists).  An absent target used to
+          surface as [Float.nan], which poisoned every settling comparison
+          downstream. *)
 }
 
 type metrics = {
@@ -33,6 +37,6 @@ val step_response :
     constants of the unity-gain frequency when one exists (slow pole/zero
     doublets settle late); [points] defaults to 2000. *)
 
-val measure : ?band:float -> waveform -> metrics
+val measure : ?band:float -> waveform -> metrics option
 (** Settling metrics with a [band] (default 0.01, i.e. 1%) around the final
-    value. *)
+    value.  [None] when the waveform has no DC target to settle towards. *)

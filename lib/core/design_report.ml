@@ -46,7 +46,7 @@ let outcome_summary ~cl_f = function
         (List.map
            (fun d -> "  " ^ Into_analysis.Diagnostic.to_string d)
            (Into_analysis.Diagnostic.by_severity diags))
-  | Evaluator.Failed reason -> "failed: " ^ reason
+  | Evaluator.Failed f -> "failed: " ^ Fail.to_string f
 
 let render ~models ~spec ~sizing topo =
   let cl_f = spec.Spec.cl_f in

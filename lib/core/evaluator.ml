@@ -16,7 +16,7 @@ type evaluation = {
 type outcome =
   | Evaluated of evaluation
   | Rejected of Diagnostic.t list
-  | Failed of string
+  | Failed of Fail.t
 
 let static_diagnostics ~spec topo =
   let topo_diags = Into_analysis.Topology_lint.check topo in
@@ -40,11 +40,28 @@ let evaluate_gated ?(sizing_config = Sizing.default_config) ~rng ~spec topo =
     let result = Sizing.optimize ~config:sizing_config ~rng ~spec topo in
     match Sizing.best result with
     | None ->
-      Failed
-        (Printf.sprintf
-           "all %d sizing attempts (%d init + %d BO) failed behavioral simulation"
-           (sizing_config.Sizing.n_init + sizing_config.Sizing.n_iter)
-           sizing_config.Sizing.n_init sizing_config.Sizing.n_iter)
+      (* Classify the all-attempts-failed outcome.  A deadline expiry wins
+         outright (the run was cut short, whatever the simulations did);
+         otherwise the strictly dominant failure class from the sizing loop,
+         with ties resolved to the first class seen. *)
+      let dominant =
+        if result.Sizing.timed_out then Fail.Timeout
+        else
+          match result.Sizing.failures with
+          | [] ->
+            Fail.Other
+              (Printf.sprintf
+                 "all %d sizing attempts (%d init + %d BO) failed behavioral simulation"
+                 (sizing_config.Sizing.n_init + sizing_config.Sizing.n_iter)
+                 sizing_config.Sizing.n_init sizing_config.Sizing.n_iter)
+          | (f0, n0) :: rest ->
+            fst
+              (List.fold_left
+                 (fun (best, best_n) (f, n) ->
+                   if n > best_n then (f, n) else (best, best_n))
+                 (f0, n0) rest)
+      in
+      Failed dominant
     | Some o ->
       Evaluated
         {

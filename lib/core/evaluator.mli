@@ -28,10 +28,12 @@ type outcome =
   | Rejected of Into_analysis.Diagnostic.t list
       (** static gate fired; the Error-severity diagnostics, no simulation
           budget spent *)
-  | Failed of string
+  | Failed of Fail.t
       (** every sizing attempt failed to simulate; budget spent.  The
-          payload records why (surfaced by [Design_report] and the campaign
-          rejection tables). *)
+          payload is the dominant failure class of the sizing loop
+          ([Fail.Timeout] when the deadline expired, otherwise the
+          most-frequent class with ties resolved first-seen), surfaced by
+          [Design_report], the retry supervisor and the campaign tables. *)
 
 val static_diagnostics :
   spec:Into_circuit.Spec.t -> Into_circuit.Topology.t -> Into_analysis.Diagnostic.t list

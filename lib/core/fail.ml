@@ -1,0 +1,46 @@
+type t =
+  | Singular
+  | No_convergence
+  | Non_finite of string
+  | Timeout
+  | Worker_crash
+  | Cache_corrupt
+  | Other of string
+
+let class_name = function
+  | Singular -> "singular"
+  | No_convergence -> "no-convergence"
+  | Non_finite _ -> "non-finite"
+  | Timeout -> "timeout"
+  | Worker_crash -> "worker-crash"
+  | Cache_corrupt -> "cache-corrupt"
+  | Other _ -> "other"
+
+let all_class_names =
+  [
+    "singular";
+    "no-convergence";
+    "non-finite";
+    "timeout";
+    "worker-crash";
+    "cache-corrupt";
+    "other";
+  ]
+
+let class_index = function
+  | Singular -> 0
+  | No_convergence -> 1
+  | Non_finite _ -> 2
+  | Timeout -> 3
+  | Worker_crash -> 4
+  | Cache_corrupt -> 5
+  | Other _ -> 6
+
+let to_string = function
+  | Non_finite what -> Printf.sprintf "non-finite (%s)" what
+  | Other reason -> "other: " ^ reason
+  | f -> class_name f
+
+let environmental = function
+  | Timeout | Worker_crash | Cache_corrupt -> true
+  | Singular | No_convergence | Non_finite _ | Other _ -> false

@@ -12,10 +12,18 @@ type config = {
   n_candidates : int;
   wei_w : float;
   refit_every : int;
+  deadline_s : float option;
 }
 
 let default_config =
-  { n_init = 10; n_iter = 30; n_candidates = 60; wei_w = 0.5; refit_every = 5 }
+  {
+    n_init = 10;
+    n_iter = 30;
+    n_candidates = 60;
+    wei_w = 0.5;
+    refit_every = 5;
+    deadline_s = None;
+  }
 
 type outcome = { sizing : float array; perf : Perf.t }
 
@@ -23,6 +31,8 @@ type result = {
   best_feasible : outcome option;
   best_any : outcome option;
   n_sims : int;
+  failures : (Fail.t * int) list;
+  timed_out : bool;
 }
 
 let best r = match r.best_feasible with Some _ as b -> b | None -> r.best_any
@@ -43,6 +53,9 @@ type state = {
   mutable best_any : (outcome * float) option;  (** with violation *)
   mutable lengthscales : float array;  (** per GP: 4 metrics + objective *)
   mutable noises : float array;
+  mutable failures : (Fail.t * int) list;  (** first-seen order *)
+  mutable timed_out : bool;
+  deadline : float option;  (** absolute wall-clock limit, [Unix.gettimeofday] frame *)
 }
 
 let n_models = List.length Objective.metrics + 1
@@ -60,13 +73,45 @@ let random_candidate st = Array.init (Array.length st.free_dims) (fun _ -> Rng.f
 let local_candidate st center =
   Array.map (fun x -> clamp01 (x +. (0.1 *. Rng.gaussian st.rng))) center
 
+let record_failure st f =
+  let rec bump = function
+    | [] -> [ (f, 1) ]
+    | (g, n) :: rest when g = f -> (g, n + 1) :: rest
+    | pair :: rest -> pair :: bump rest
+  in
+  st.failures <- bump st.failures
+
+(* Checked after every simulation: the budget loops stop scheduling work
+   once the wall-clock deadline passes.  Cooperative — a single simulation
+   is never interrupted mid-solve, so the overshoot is bounded by one
+   evaluation. *)
+let expired st =
+  match st.deadline with
+  | None -> false
+  | Some limit ->
+    if st.timed_out then true
+    else if Unix.gettimeofday () > limit then begin
+      st.timed_out <- true;
+      true
+    end
+    else false
+
 let evaluate st u =
   let full = complete st u in
   let sizing = Params.denormalize st.schema full in
   st.n_sims <- st.n_sims + 1;
-  match Perf.evaluate st.topo ~sizing ~cl_f:st.spec.Spec.cl_f with
-  | None -> None
-  | Some perf ->
+  match Perf.evaluate_checked st.topo ~sizing ~cl_f:st.spec.Spec.cl_f with
+  | exception exn ->
+    record_failure st (Fail.Other (Printexc.to_string exn));
+    None
+  | Error e ->
+    record_failure st
+      (match e with
+      | `Singular -> Fail.Singular
+      | `No_convergence -> Fail.No_convergence
+      | `Non_finite field -> Fail.Non_finite field);
+    None
+  | Ok perf ->
     let o = { sizing; perf } in
     let fom = Perf.fom perf ~cl_f:st.spec.Spec.cl_f in
     if Perf.satisfies perf st.spec then begin
@@ -236,20 +281,28 @@ let optimize ?(config = default_config) ?start ?free_dims ~rng ~spec topo =
       best_any = None;
       lengthscales = Array.make n_models 0.0;
       noises = Array.make n_models 1e-2;
+      failures = [];
+      timed_out = false;
+      deadline =
+        Option.map (fun s -> Unix.gettimeofday () +. s) config.deadline_s;
     }
   in
   (* Initial design: the start point (when provided) plus random points. *)
-  if start <> None then ignore (evaluate st (Array.map (fun i -> base.(i)) free));
+  if start <> None && not (expired st) then
+    ignore (evaluate st (Array.map (fun i -> base.(i)) free));
   let n_random_init = config.n_init - if start = None then 0 else 1 in
   for _ = 1 to max 0 n_random_init do
-    ignore (evaluate st (random_candidate st))
+    if not (expired st) then ignore (evaluate st (random_candidate st))
   done;
   for iter = 0 to config.n_iter - 1 do
-    if st.obs <> [] then bo_step st iter
-    else ignore (evaluate st (random_candidate st))
+    if not (expired st) then
+      if st.obs <> [] then bo_step st iter
+      else ignore (evaluate st (random_candidate st))
   done;
   {
     best_feasible = Option.map fst st.best_feasible;
     best_any = Option.map fst st.best_any;
     n_sims = st.n_sims;
+    failures = st.failures;
+    timed_out = st.timed_out;
   }

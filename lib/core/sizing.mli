@@ -14,10 +14,16 @@ type config = {
   n_candidates : int;  (** acquisition candidates per iteration *)
   wei_w : float;
   refit_every : int;  (** hyperparameter re-selection period *)
+  deadline_s : float option;
+      (** wall-clock budget for the whole sizing run.  Checked cooperatively
+          between simulations (a running solve is never interrupted), so the
+          overshoot is bounded by one evaluation.  [None] disables the check
+          entirely — the default, and the only fully deterministic mode. *)
 }
 
 val default_config : config
-(** 10 init, 30 iterations, 60 candidates, w = 0.5, refit every 5. *)
+(** 10 init, 30 iterations, 60 candidates, w = 0.5, refit every 5,
+    no deadline. *)
 
 type outcome = { sizing : float array (** physical values *); perf : Into_circuit.Perf.t }
 
@@ -25,6 +31,10 @@ type result = {
   best_feasible : outcome option;  (** highest-FoM spec-satisfying point *)
   best_any : outcome option;  (** minimum-constraint-violation point *)
   n_sims : int;
+  failures : (Fail.t * int) list;
+      (** per-failure counts of simulations that produced no usable
+          performance record, in first-seen order *)
+  timed_out : bool;  (** the deadline expired before the budget ran out *)
 }
 
 val best : result -> outcome option

@@ -36,7 +36,7 @@ type step = {
   iteration : int;
   evaluation : Evaluator.evaluation option;
   rejection : Into_analysis.Diagnostic.t list;
-  failure : string option;
+  failure : Fail.t option;
   cumulative_sims : int;
   best_fom_so_far : float option;
 }
@@ -70,7 +70,15 @@ let model_targets ~spec (evals : Evaluator.evaluation list) =
       (name, y))
     model_names
 
+(* Only finite observations may reach a GP: a single NaN target corrupts
+   the whole Cholesky factorization, silently.  The evaluator already
+   guarantees finite perf records, so this is the last line of defense. *)
+let trainable ~spec (e : Evaluator.evaluation) =
+  Into_circuit.Perf.is_finite e.perf
+  && Float.is_finite (Objective.penalized_fom_value e.perf spec ~cl_f:spec.Spec.cl_f)
+
 let fit_metric_models ~dict ~spec evals =
+  let evals = List.filter (trainable ~spec) evals in
   if List.length evals < 2 then []
   else
     let graphs =
@@ -142,9 +150,10 @@ let evaluate_topology st ~iteration topo =
   record_outcome st ~iteration (st.cfg.runner.Evaluator.run_one (task_of st topo))
 
 let fit_models st ~full_search =
+  let evals = List.filter (trainable ~spec:st.spec) st.evals in
   let graphs =
     Array.of_list
-      (List.map (fun (e : Evaluator.evaluation) -> Into_graph.Circuit_graph.build e.topology) st.evals)
+      (List.map (fun (e : Evaluator.evaluation) -> Into_graph.Circuit_graph.build e.topology) evals)
   in
   let fit (name, y) =
     let full () =
@@ -164,7 +173,7 @@ let fit_models st ~full_search =
       :: List.remove_assoc name st.hyper;
     (name, model)
   in
-  List.map fit (model_targets ~spec:st.spec st.evals)
+  List.map fit (model_targets ~spec:st.spec evals)
 
 (* Current best topologies used as mutation seeds: feasible designs ranked
    by FoM, padded with low-violation infeasible ones. *)
@@ -218,7 +227,8 @@ let bo_iteration st ~iteration =
   match candidates with
   | [] -> ()
   | first :: _ ->
-    if List.length st.evals < 2 then evaluate_topology st ~iteration first
+    if List.length (List.filter (trainable ~spec:st.spec) st.evals) < 2 then
+      evaluate_topology st ~iteration first
     else begin
       let full_search = iteration mod st.cfg.refit_every = 1 || st.hyper = [] in
       let models = fit_models st ~full_search in

@@ -33,7 +33,7 @@ type step = {
   rejection : Into_analysis.Diagnostic.t list;
       (** non-empty iff the static verification gate rejected the candidate
           (then [evaluation = None] and the step cost no simulations) *)
-  failure : string option;
+  failure : Fail.t option;
       (** why every sizing attempt failed, when the evaluator reported
           [Failed] (then [evaluation = None] but the budget was spent) *)
   cumulative_sims : int;

@@ -32,12 +32,24 @@ let run_key ~seed ~method_id ~spec_name ~run_index ~scale =
   Printf.sprintf "seed=%d|method=%s|spec=%s|run=%d|scale=%s" seed
     (Methods.name method_id) spec_name run_index (scale_fingerprint scale)
 
-let encode_trace (trace, elapsed_s) = Marshal.to_string (trace, elapsed_s) []
+(* The payload layout is tied to the [Evaluator.outcome] type buried in
+   the trace; unmarshalling a payload written against an older layout
+   would be memory-unsafe.  A plain-string version prefix is checked
+   before any unmarshal, so stale journals decode as "absent" and the run
+   recomputes. *)
+let trace_magic = "INTO-OA-TRACE-v2\n"
+
+let encode_trace (trace, elapsed_s) =
+  trace_magic ^ Marshal.to_string ((trace, elapsed_s) : Methods.trace * float) []
 
 let decode_trace payload =
-  match (Marshal.from_string payload 0 : Methods.trace * float) with
-  | v -> Some v
-  | exception _ -> None
+  let m = String.length trace_magic in
+  if String.length payload < m || not (String.equal (String.sub payload 0 m) trace_magic)
+  then None
+  else
+    match (Marshal.from_string payload m : Methods.trace * float) with
+    | v -> Some v
+    | exception _ -> None
 
 let execute ?(progress = fun (_ : Progress.event) -> ()) ?runtime ?(methods = Methods.all)
     ?(specs = Spec.all) ~scale ~seed () =
@@ -79,20 +91,48 @@ let execute ?(progress = fun (_ : Progress.event) -> ()) ?runtime ?(methods = Me
     | Some (trace, elapsed_s) ->
       emit (Progress.Run_restored { label; index = i + 1; total });
       { method_id; spec; run_index; trace; elapsed_s }
-    | None ->
+    | None -> (
       emit (Progress.Run_started { label; index = i + 1; total });
       let started = Unix.gettimeofday () in
       let rng =
         Into_util.Rng.create
           ~seed:(run_seed ~seed ~method_id ~spec_name:spec.Spec.name ~run_index)
       in
-      let trace = Methods.run ~runner:inner_runner method_id ~scale ~rng ~spec in
-      let elapsed_s = Unix.gettimeofday () -. started in
-      Option.iter
-        (fun c -> Checkpoint.append c ~key ~payload:(encode_trace (trace, elapsed_s)))
-        checkpoint;
-      emit (Progress.Run_finished { label; index = i + 1; total; elapsed_s });
-      { method_id; spec; run_index; trace; elapsed_s }
+      match Methods.run ~runner:inner_runner method_id ~scale ~rng ~spec with
+      | trace ->
+        let elapsed_s = Unix.gettimeofday () -. started in
+        Option.iter
+          (fun c ->
+            Checkpoint.append c ~key ~payload:(encode_trace (trace, elapsed_s));
+            (* Chaos: tear the journal tail right after this append, as a
+               crash mid-write would.  Only a later resume notices; it
+               recomputes the torn records deterministically. *)
+            Option.iter
+              (fun fi ->
+                if
+                  Into_runtime.Faultin.fires fi Into_runtime.Faultin.Tear_checkpoint
+                    ~key ~attempt:0
+                then Checkpoint.tear c ~bytes:16)
+              (Exec.faultin runtime))
+          checkpoint;
+        emit (Progress.Run_finished { label; index = i + 1; total; elapsed_s });
+        { method_id; spec; run_index; trace; elapsed_s }
+      | exception exn ->
+        (* One crashed run must not sink the whole grid: record an empty
+           trace (never journalled, so a resume re-attempts it) and keep
+           going.  Aggregations treat the cell as zero candidates. *)
+        let elapsed_s = Unix.gettimeofday () -. started in
+        emit
+          (Progress.Run_failed
+             { label; index = i + 1; total; reason = Printexc.to_string exn });
+        {
+          method_id;
+          spec;
+          run_index;
+          trace =
+            { Methods.steps = []; best = None; total_sims = 0; rejections = 0 };
+          elapsed_s;
+        })
   in
   Array.to_list
     (Into_runtime.Pool.map ~jobs:(Exec.jobs runtime) one
@@ -216,7 +256,7 @@ let total_failures t method_id =
              r.trace.Methods.steps))
     0 (runs_of_method t method_id)
 
-let failure_reasons t =
+let count_failures_by t key_of =
   let counts = Hashtbl.create 8 in
   let order = ref [] in
   List.iter
@@ -225,15 +265,26 @@ let failure_reasons t =
         (fun (s : Into_core.Topo_bo.step) ->
           match s.Into_core.Topo_bo.failure with
           | None -> ()
-          | Some reason ->
-            (match Hashtbl.find_opt counts reason with
+          | Some f ->
+            let key = key_of f in
+            (match Hashtbl.find_opt counts key with
             | None ->
-              Hashtbl.add counts reason 1;
-              order := reason :: !order
-            | Some n -> Hashtbl.replace counts reason (n + 1)))
+              Hashtbl.add counts key 1;
+              order := key :: !order
+            | Some n -> Hashtbl.replace counts key (n + 1)))
         r.trace.Methods.steps)
     t;
-  List.rev_map (fun reason -> (reason, Hashtbl.find counts reason)) !order
+  List.rev_map (fun key -> (key, Hashtbl.find counts key)) !order
+
+let failure_reasons t = count_failures_by t Into_core.Fail.to_string
+
+let failure_classes t =
+  (* Canonical class order, zero-count classes dropped. *)
+  let by_class = count_failures_by t Into_core.Fail.class_name in
+  List.filter_map
+    (fun name ->
+      Option.map (fun n -> (name, n)) (List.assoc_opt name by_class))
+    Into_core.Fail.all_class_names
 
 let fig5_series t spec ~grid_step =
   let max_sims =

@@ -81,8 +81,15 @@ val total_failures : t -> Methods.id -> int
     method. *)
 
 val failure_reasons : t -> (string * int) list
-(** Distinct simulation-failure reasons across the whole campaign with
-    their occurrence counts, in first-seen order. *)
+(** Distinct simulation-failure reasons ([Fail.to_string] forms, payloads
+    included) across the whole campaign with their occurrence counts, in
+    first-seen order. *)
+
+val failure_classes : t -> (string * int) list
+(** Failure counts grouped by [Fail.class_name], in canonical class order,
+    zero-count classes omitted.  Derived from the traces — so restored and
+    freshly computed campaigns report identically, unlike the engine's
+    live ledger. *)
 
 val fig5_series :
   t -> Into_circuit.Spec.t -> grid_step:int -> (string * (int * float * int) list) list

@@ -88,12 +88,24 @@ let lint_summary campaign =
     "Static verification gate: candidates rejected before simulation\n"
     ^ Table.render ~header:[ "Method"; "Candidates"; "Rejected"; "Failed" ] rows
   in
-  match Campaign.failure_reasons campaign with
-  | [] -> table
-  | reasons ->
-    table ^ "\nsimulation failures:\n"
-    ^ String.concat "\n"
-        (List.map (fun (reason, n) -> Printf.sprintf "  %dx %s" n reason) reasons)
+  let classes =
+    match Campaign.failure_classes campaign with
+    | [] -> ""
+    | rows ->
+      "\nfailure classes:\n"
+      ^ Table.render
+          ~header:[ "Class"; "Count" ]
+          (List.map (fun (name, n) -> [ name; string_of_int n ]) rows)
+  in
+  let reasons =
+    match Campaign.failure_reasons campaign with
+    | [] -> ""
+    | reasons ->
+      "\nsimulation failures:\n"
+      ^ String.concat "\n"
+          (List.map (fun (reason, n) -> Printf.sprintf "  %dx %s" n reason) reasons)
+  in
+  table ^ classes ^ reasons
 
 let perf_cells p ~cl_f =
   [

@@ -18,6 +18,14 @@ let fit ?(h_candidates = default_h_candidates)
   let n = Array.length graphs in
   if n = 0 then invalid_arg "Wl_gp.fit: empty data";
   if Array.length y <> n then invalid_arg "Wl_gp.fit: length mismatch";
+  (* One NaN target silently corrupts the whole Cholesky factorization and
+     every prediction after it: refuse loudly, naming the offender. *)
+  Array.iteri
+    (fun i yi ->
+      if not (Float.is_finite yi) then
+        invalid_arg
+          (Printf.sprintf "Wl_gp.fit: non-finite target y.(%d) = %h" i yi))
+    y;
   if h_candidates = [] || noise_candidates = [] || signal_candidates = [] then
     invalid_arg "Wl_gp.fit: empty candidate list";
   let best = ref None in

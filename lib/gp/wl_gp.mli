@@ -23,7 +23,9 @@ val fit :
   y:float array ->
   unit ->
   t
-(** @raise Invalid_argument on empty data or mismatched lengths. *)
+(** @raise Invalid_argument on empty data, mismatched lengths, or a
+    non-finite training target (the diagnostic names the first offending
+    index — a NaN would otherwise corrupt the factorization silently). *)
 
 val h : t -> int
 val log_marginal_likelihood : t -> float

@@ -1,7 +1,7 @@
 module Evaluator = Into_core.Evaluator
 module Topology = Into_circuit.Topology
 
-let version = 1
+let version = 2
 let magic = "INTO-OA-CACHE"
 
 type t = {
@@ -32,7 +32,7 @@ let key_of_task (task : Evaluator.task) =
   let spec = task.Evaluator.task_spec in
   let sizing = task.Evaluator.task_sizing in
   Printf.sprintf
-    "v%d|topo=%d|spec=%s;%.17g;%.17g;%.17g;%.17g;%.17g|sizing=%d;%d;%d;%.17g;%d|seed=%d"
+    "v%d|topo=%d|spec=%s;%.17g;%.17g;%.17g;%.17g;%.17g|sizing=%d;%d;%d;%.17g;%d;%s|seed=%d"
     version
     (Topology.to_index task.Evaluator.task_topology)
     spec.Into_circuit.Spec.name spec.Into_circuit.Spec.min_gain_db
@@ -40,17 +40,26 @@ let key_of_task (task : Evaluator.task) =
     spec.Into_circuit.Spec.max_power_w spec.Into_circuit.Spec.cl_f
     sizing.Into_core.Sizing.n_init sizing.Into_core.Sizing.n_iter
     sizing.Into_core.Sizing.n_candidates sizing.Into_core.Sizing.wei_w
-    sizing.Into_core.Sizing.refit_every task.Evaluator.task_seed
+    sizing.Into_core.Sizing.refit_every
+    (match sizing.Into_core.Sizing.deadline_s with
+    | None -> "none"
+    | Some s -> Printf.sprintf "%.17g" s)
+    task.Evaluator.task_seed
 
 let path_of_key t ~key = Filename.concat t.root (Content_hash.hex key)
 
-(* The envelope repeats the full key: the file name is only a 64-bit hash,
-   so an exact-match check on load turns a collision into a plain miss. *)
-type envelope = {
-  env_magic : string;
-  env_version : int;
-  env_key : string;
-  env_outcome : Evaluator.outcome;
+(* v2 format: TWO marshalled values per file.  First a header carrying only
+   scalar/string fields — always memory-safe to decode, whatever format
+   version actually wrote the file — then, separately, the outcome.  The
+   outcome is only unmarshalled once the header's magic, version and full
+   key have all validated, so an outcome written against an older type
+   layout (whose decode would be memory-unsafe) is never touched.  The
+   header repeats the full key because the file name is only a 64-bit hash:
+   an exact-match check on load turns a collision into a plain miss. *)
+type header = {
+  h_magic : string;
+  h_version : int;
+  h_key : string;
 }
 
 let find t ~key =
@@ -60,13 +69,18 @@ let find t ~key =
     | exception Sys_error _ -> None
     | ic ->
       let v =
-        match (Marshal.from_channel ic : envelope) with
-        | env ->
+        match (Marshal.from_channel ic : header) with
+        | h ->
           if
-            String.equal env.env_magic magic
-            && env.env_version = version
-            && String.equal env.env_key key
-          then Some env.env_outcome
+            String.equal h.h_magic magic
+            && h.h_version = version
+            && String.equal h.h_key key
+          then
+            (match (Marshal.from_channel ic : Evaluator.outcome) with
+            | outcome -> Some outcome
+            | exception _ ->
+              Atomic.incr t.n_corrupt;
+              None)
           else begin
             Atomic.incr t.n_corrupt;
             None
@@ -84,11 +98,20 @@ let find t ~key =
   entry
 
 let store t ~key outcome =
-  let env =
-    { env_magic = magic; env_version = version; env_key = key; env_outcome = outcome }
-  in
   let ok =
     Fsutil.write_atomically ~path:(path_of_key t ~key) (fun oc ->
-        Marshal.to_channel oc env [])
+        Marshal.to_channel oc { h_magic = magic; h_version = version; h_key = key } [];
+        Marshal.to_channel oc (outcome : Evaluator.outcome) [])
   in
   if ok then Atomic.incr t.n_stores
+
+let corrupt_entry t ~key =
+  let path = path_of_key t ~key in
+  match open_out_gen [ Open_wronly; Open_binary ] 0o644 path with
+  | exception Sys_error _ -> false
+  | oc ->
+    (* Stomp the Marshal magic number in place; the next [find] fails to
+       decode the header, counts the entry corrupt, and recomputes. *)
+    output_string oc "CHAOSCHAOS";
+    close_out_noerr oc;
+    true

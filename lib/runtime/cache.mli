@@ -1,13 +1,16 @@
 (** Persistent on-disk store of evaluation outcomes.
 
     One file per entry under a cache directory, named by the
-    {!Content_hash.hex} of the task's canonical key.  Entries are Marshal
-    envelopes carrying a magic string, a format version, and the full key,
-    so hash collisions, truncated writes, and stale formats are all
-    detected on load and answered with a recompute — a cache read never
-    raises.  Safe for concurrent writers: entries land via atomic rename
-    and the store is append-only (same key always maps to the same
-    outcome, so last-write-wins races are benign). *)
+    {!Content_hash.hex} of the task's canonical key.  Each entry holds two
+    marshalled values: a scalar-only header (magic string, format version,
+    full key) followed by the outcome.  The header is always memory-safe to
+    decode regardless of which format version wrote the file, and the
+    outcome is only unmarshalled after the header validates — so hash
+    collisions, truncated writes, and stale formats are all detected on
+    load and answered with a recompute; a cache read never raises.  Safe
+    for concurrent writers: entries land via atomic rename and the store is
+    append-only (same key always maps to the same outcome, so
+    last-write-wins races are benign). *)
 
 type t
 
@@ -42,3 +45,9 @@ val stores : t -> int
 
 val corrupt : t -> int
 (** Entries that existed on disk but failed validation. *)
+
+val corrupt_entry : t -> key:string -> bool
+(** Deliberately damage the stored entry for [key] in place, so the next
+    {!find} detects corruption and recomputes.  Returns false when no entry
+    exists.  Exists for the fault-injection harness ([Faultin]) — it
+    exercises exactly the recovery path a torn write would. *)

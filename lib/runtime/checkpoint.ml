@@ -58,18 +58,19 @@ let start ~path ~fresh =
     | exception Sys_error _ -> None
   in
   let table = Hashtbl.create 64 in
-  let order =
-    List.rev_map
-      (fun (key, payload) ->
-        if not (Hashtbl.mem table key) then Hashtbl.add table key payload;
-        key)
-      restored
-  in
+  (* Last write wins: a key journalled twice (e.g. re-appended after a torn
+     tail was repaired) converges on the most recent payload. *)
+  let order = ref [] in
+  List.iter
+    (fun (key, payload) ->
+      if not (Hashtbl.mem table key) then order := key :: !order;
+      Hashtbl.replace table key payload)
+    restored;
   {
     path;
     oc;
     table;
-    order;
+    order = !order;
     n_restored = List.length restored;
     lock = Mutex.create ();
   }
@@ -82,10 +83,8 @@ let append t ~key ~payload =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      if not (Hashtbl.mem t.table key) then begin
-        Hashtbl.add t.table key payload;
-        t.order <- key :: t.order
-      end;
+      if not (Hashtbl.mem t.table key) then t.order <- key :: t.order;
+      Hashtbl.replace t.table key payload;
       match t.oc with
       | None -> ()
       | Some oc -> (
@@ -112,6 +111,34 @@ let entries t =
       List.rev_map
         (fun key -> (key, Hashtbl.find t.table key))
         t.order)
+
+(* Simulate a crash mid-append: chop [bytes] off the end of the journal
+   file.  The in-memory table is untouched (this process already has the
+   results); only a later [start] sees the damage, truncates back to the
+   last whole frame, and recomputes the lost tail.  The channel is
+   reopened in append mode so frames written after the tear land at the
+   new end of file rather than over a sparse hole. *)
+let tear t ~bytes =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      (match t.oc with
+      | Some oc ->
+        close_out_noerr oc;
+        t.oc <- None
+      | None -> ());
+      (match
+         let size = (Unix.stat t.path).Unix.st_size in
+         Unix.truncate t.path (max 0 (size - max 0 bytes))
+       with
+      | () -> ()
+      | exception Unix.Unix_error (_, _, _) | exception Sys_error _ -> ());
+      match
+        open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 t.path
+      with
+      | oc -> t.oc <- Some oc
+      | exception Sys_error _ -> ())
 
 let close t =
   Mutex.lock t.lock;

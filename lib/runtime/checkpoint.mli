@@ -21,8 +21,16 @@ val find : t -> key:string -> string option
 
 val append : t -> key:string -> payload:string -> unit
 (** Record a completed unit of work.  Thread/domain-safe.  A key appended
-    twice keeps the first payload on lookup.  Best-effort on an unwritable
-    path: lookups still work, persistence is lost. *)
+    twice keeps the latest payload on lookup (so a record re-appended
+    after journal damage converges).  Best-effort on an unwritable path:
+    lookups still work, persistence is lost. *)
+
+val tear : t -> bytes:int -> unit
+(** Chop [bytes] off the end of the journal file, simulating a crash
+    mid-append.  In-memory state is untouched; the damage only matters to
+    a later [start], which truncates back to the last whole frame and lets
+    the campaign recompute the lost tail.  Exists for the fault-injection
+    harness ([Faultin]). *)
 
 val entries : t -> (string * string) list
 (** All records, restored and appended, in journal order. *)

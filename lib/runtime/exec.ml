@@ -1,4 +1,5 @@
 module Evaluator = Into_core.Evaluator
+module Fail = Into_core.Fail
 
 type t = {
   n_jobs : int;
@@ -8,9 +9,13 @@ type t = {
   event_lock : Mutex.t;
   n_computed : int Atomic.t;
   started_at : float;
+  policy : Supervise.policy;
+  chaos : Faultin.t option;
+  task_ledger : Supervise.Ledger.t;
 }
 
-let create ?(jobs = 1) ?cache ?checkpoint ?(on_event = fun _ -> ()) () =
+let create ?(jobs = 1) ?cache ?checkpoint ?(on_event = fun _ -> ())
+    ?(supervise = Supervise.default_policy) ?faultin () =
   {
     n_jobs = (if jobs <= 0 then Pool.default_jobs () else jobs);
     cache;
@@ -19,11 +24,17 @@ let create ?(jobs = 1) ?cache ?checkpoint ?(on_event = fun _ -> ()) () =
     event_lock = Mutex.create ();
     n_computed = Atomic.make 0;
     started_at = Unix.gettimeofday ();
+    policy = supervise;
+    chaos = faultin;
+    task_ledger = Supervise.Ledger.create ();
   }
 
 let jobs t = t.n_jobs
 let cache t = t.cache
 let checkpoint t = t.checkpoint
+let policy t = t.policy
+let faultin t = t.chaos
+let ledger t = t.task_ledger
 
 let emit t event =
   Mutex.lock t.event_lock;
@@ -33,15 +44,34 @@ let compute t task =
   Atomic.incr t.n_computed;
   Evaluator.run_task task
 
+(* Cache lookup, then a supervised computation on a miss.  The supervisor
+   sits *inside* the cache boundary: only final (post-retry) outcomes are
+   stored, keyed by the original task, so a cache replay of a recovered
+   task returns the recovered outcome directly. *)
 let evaluate t task =
+  let key = Cache.key_of_task task in
+  let supervised () =
+    Supervise.run ?faultin:t.chaos ~ledger:t.task_ledger ~policy:t.policy ~key
+      ~compute:(compute t) task
+  in
   match t.cache with
-  | None -> compute t task
-  | Some cache -> (
-    let key = Cache.key_of_task task in
-    match Cache.find cache ~key with
+  | None -> supervised ()
+  | Some cache ->
+    (* Chaos: damage this task's stored entry before the lookup, forcing
+       the corrupt-detection path.  The recompute below then repairs it. *)
+    Option.iter
+      (fun fi ->
+        if Faultin.decide fi Faultin.Corrupt_cache ~key ~attempt:0 then
+          if Cache.corrupt_entry cache ~key then begin
+            Faultin.record fi Faultin.Corrupt_cache;
+            Supervise.Ledger.count_failure t.task_ledger Fail.Cache_corrupt;
+            Supervise.Ledger.count_retry t.task_ledger Fail.Cache_corrupt
+          end)
+      t.chaos;
+    (match Cache.find cache ~key with
     | Some outcome -> outcome
     | None ->
-      let outcome = compute t task in
+      let outcome = supervised () in
       Cache.store cache ~key outcome;
       outcome)
 
@@ -63,6 +93,10 @@ type stats = {
   cache_stores : int;
   cache_corrupt : int;
   restored_runs : int;
+  task_failures : int;
+  retries : int;
+  recovered : int;
+  gave_up : int;
 }
 
 let stats t =
@@ -80,6 +114,10 @@ let stats t =
     cache_stores = stores;
     cache_corrupt = corrupt;
     restored_runs = (match t.checkpoint with None -> 0 | Some c -> Checkpoint.restored c);
+    task_failures = Supervise.Ledger.total_failures t.task_ledger;
+    retries = Supervise.Ledger.total_retries t.task_ledger;
+    recovered = Supervise.Ledger.recovered t.task_ledger;
+    gave_up = Supervise.Ledger.gave_up t.task_ledger;
   }
 
 let summary t =
@@ -98,4 +136,30 @@ let summary t =
     Buffer.add_string buf (Printf.sprintf ", %d corrupt entries recomputed" s.cache_corrupt);
   if s.restored_runs > 0 then
     Buffer.add_string buf (Printf.sprintf "\ncheckpoint: %d runs restored" s.restored_runs);
+  Buffer.add_string buf
+    (Printf.sprintf "\nfault tolerance: %d task failures, retries: %d, %d recovered, %d gave up"
+       s.task_failures s.retries s.recovered s.gave_up);
+  (match Supervise.Ledger.snapshot t.task_ledger with
+  | [] -> ()
+  | rows ->
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "\n  %-14s %d failed, %d retried"
+             r.Supervise.Ledger.class_name r.Supervise.Ledger.n_failures
+             r.Supervise.Ledger.n_retries))
+      rows);
+  (match t.chaos with
+  | None -> ()
+  | Some fi ->
+    Buffer.add_string buf
+      (Printf.sprintf "\nchaos (%s): %d faults injected" (Faultin.to_string fi)
+         (Faultin.total_injected fi));
+    List.iter
+      (fun site ->
+        let n = Faultin.injected fi site in
+        if n > 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "\n  %-14s %d injected" (Faultin.site_name site) n))
+      Faultin.all_sites);
   Buffer.contents buf

@@ -1,12 +1,17 @@
-(** The evaluation engine: ties the work {!Pool}, the outcome {!Cache} and
-    the {!Checkpoint} journal together behind the
-    [Into_core.Evaluator.runner] injection point.
+(** The evaluation engine: ties the work {!Pool}, the outcome {!Cache}, the
+    {!Checkpoint} journal and the {!Supervise} retry supervisor together
+    behind the [Into_core.Evaluator.runner] injection point.
 
     One engine is shared by every worker domain of a campaign, so all of
     its state is mutex- or atomically-protected.  Because every
-    [Evaluator.task] carries its own seed, an engine-backed runner is
-    result-identical to [Evaluator.serial_runner] at any job count and any
-    cache temperature — only wall clock and simulation counts change. *)
+    [Evaluator.task] carries its own seed — and every supervision decision
+    (retry seeds, fault injection) is a pure function of the task — an
+    engine-backed runner is result-identical at any job count and any
+    cache temperature, faults or no faults; only wall clock and simulation
+    counts change.  With retries, a deadline or chaos enabled, results may
+    legitimately differ from [Evaluator.serial_runner] (which has none of
+    the three); they still never differ between two engines configured the
+    same way. *)
 
 type t
 
@@ -15,25 +20,37 @@ val create :
   ?cache:Cache.t ->
   ?checkpoint:Checkpoint.t ->
   ?on_event:(Progress.event -> unit) ->
+  ?supervise:Supervise.policy ->
+  ?faultin:Faultin.t ->
   unit ->
   t
 (** [jobs] defaults to [1] (serial); [0] or negative means one worker per
     core.  Without [cache] every task is computed; without [checkpoint]
-    nothing is journalled. *)
+    nothing is journalled.  [supervise] defaults to
+    {!Supervise.default_policy}; [faultin] (absent by default) arms the
+    chaos harness. *)
 
 val jobs : t -> int
 (** Resolved worker count (auto-detection already applied). *)
 
 val cache : t -> Cache.t option
 val checkpoint : t -> Checkpoint.t option
+val policy : t -> Supervise.policy
+
+val faultin : t -> Faultin.t option
+(** The chaos harness, when armed.  [Campaign] consults it for the
+    checkpoint-tear site, which lives outside task evaluation. *)
+
+val ledger : t -> Supervise.Ledger.t
+(** Per-class failure/retry counts accumulated by this engine. *)
 
 val emit : t -> Progress.event -> unit
 (** Deliver an event to the [on_event] callback, serialized under a mutex
     so concurrent worker domains never interleave lines. *)
 
 val evaluate : t -> Into_core.Evaluator.task -> Into_core.Evaluator.outcome
-(** Cache lookup, then [Evaluator.run_task] on a miss (storing the fresh
-    outcome back). *)
+(** Cache lookup, then a supervised computation on a miss (storing the
+    final, post-retry outcome back under the original task's key). *)
 
 val runner : ?jobs:int -> t -> Into_core.Evaluator.runner
 (** A cache-backed [Evaluator.runner] for injection into [Topo_bo] and the
@@ -53,11 +70,17 @@ type stats = {
   cache_stores : int;
   cache_corrupt : int;
   restored_runs : int;  (** checkpoint records loaded at startup *)
+  task_failures : int;  (** failed attempts, all classes *)
+  retries : int;
+  recovered : int;  (** tasks rescued by a retry *)
+  gave_up : int;  (** tasks still failed after the last retry *)
 }
 
 val stats : t -> stats
 
 val summary : t -> string
 (** Multi-line human-readable account of {!stats}.  Always contains the
-    literal substring ["cache hits: <n>"] — CI greps for it to assert a
-    warm rerun hit the cache. *)
+    literal substrings ["cache hits: <n>"] and ["retries: <n>"] — CI greps
+    them to assert a warm rerun hit the cache and a chaos run actually
+    retried.  Includes a per-class ledger breakdown and, when chaos is
+    armed, per-site injection counts. *)

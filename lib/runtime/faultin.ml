@@ -1,0 +1,161 @@
+type site =
+  | Singular_solve
+  | Nan_perf
+  | Delay
+  | Crash
+  | Corrupt_cache
+  | Tear_checkpoint
+
+exception Injected_crash
+
+let all_sites =
+  [ Singular_solve; Nan_perf; Delay; Crash; Corrupt_cache; Tear_checkpoint ]
+
+let site_name = function
+  | Singular_solve -> "singular"
+  | Nan_perf -> "nan"
+  | Delay -> "delay"
+  | Crash -> "crash"
+  | Corrupt_cache -> "cache"
+  | Tear_checkpoint -> "tear"
+
+let site_index = function
+  | Singular_solve -> 0
+  | Nan_perf -> 1
+  | Delay -> 2
+  | Crash -> 3
+  | Corrupt_cache -> 4
+  | Tear_checkpoint -> 5
+
+let n_sites = List.length all_sites
+
+type t = {
+  seed : int;
+  rates : float array;  (** per {!site_index}, in [0,1] *)
+  injected : int Atomic.t array;
+}
+
+let create ?(seed = 0) ~rates () =
+  let rate_of site =
+    match List.assoc_opt site rates with
+    | None -> 0.0
+    | Some r ->
+      if not (Float.is_finite r) || r < 0.0 || r > 1.0 then
+        invalid_arg
+          (Printf.sprintf "Faultin.create: rate %g for %s outside [0,1]" r
+             (site_name site))
+      else r
+  in
+  {
+    seed;
+    rates = Array.init n_sites (fun i -> rate_of (List.nth all_sites i));
+    injected = Array.init n_sites (fun _ -> Atomic.make 0);
+  }
+
+let seed t = t.seed
+let rate t site = t.rates.(site_index site)
+
+let parse spec =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parts =
+    List.filter
+      (fun s -> s <> "")
+      (String.split_on_char ',' (String.trim spec))
+  in
+  if parts = [] then fail "empty chaos spec"
+  else
+    let rec go ~seed ~rates = function
+      | [] -> Ok (create ?seed ~rates ())
+      | part :: rest -> (
+        match String.index_opt part '=' with
+        | None -> fail "chaos spec field %S is not key=value" part
+        | Some i -> (
+          let key = String.trim (String.sub part 0 i) in
+          let value =
+            String.trim (String.sub part (i + 1) (String.length part - i - 1))
+          in
+          match key with
+          | "seed" -> (
+            match int_of_string_opt value with
+            | Some s -> go ~seed:(Some s) ~rates rest
+            | None -> fail "chaos seed %S is not an integer" value)
+          | _ -> (
+            match float_of_string_opt value with
+            | None -> fail "chaos rate %S for %s is not a number" value key
+            | Some r when not (Float.is_finite r) || r < 0.0 || r > 1.0 ->
+              fail "chaos rate %g for %s outside [0,1]" r key
+            | Some r ->
+              if key = "all" then
+                go ~seed
+                  ~rates:(List.map (fun s -> (s, r)) all_sites @ rates)
+                  rest
+              else (
+                match
+                  List.find_opt (fun s -> site_name s = key) all_sites
+                with
+                | Some site -> go ~seed ~rates:((site, r) :: rates) rest
+                | None ->
+                  fail "unknown chaos site %S (known: %s, all, seed)" key
+                    (String.concat ", " (List.map site_name all_sites))))))
+    in
+    (* Later fields win: rates are consulted left-to-right via assoc, so
+       accumulate in reverse. *)
+    match go ~seed:None ~rates:[] parts with
+    | Ok _ as ok -> ok
+    | Error _ as e -> e
+
+let to_string t =
+  String.concat ","
+    (Printf.sprintf "seed=%d" t.seed
+    :: List.filter_map
+         (fun site ->
+           let r = rate t site in
+           if r = 0.0 then None
+           else Some (Printf.sprintf "%s=%g" (site_name site) r))
+         all_sites)
+
+(* FNV-1a diffuses trailing bytes poorly: the last character is multiplied
+   by the prime only once, so it perturbs the hash — and the uniform float
+   below — by at most ~2^-16.  The quadruple string varies exactly in its
+   tail (the attempt counter, a task seed suffix), so without a finalizer
+   every attempt of a task would share one decision and retries could
+   never clear an injected fault.  MurmurHash3's fmix64 avalanches every
+   input bit across the whole word. *)
+let avalanche h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+(* The injection decision is a pure function of (harness seed, site, key,
+   attempt): hash the quadruple, map the hash to [0,1), compare to the
+   site's rate.  No mutable generator state — so the decision for a given
+   task is identical whatever domain, order, or parallelism evaluates it,
+   which is what keeps chaos campaigns bit-reproducible under [-j N]. *)
+let decide t site ~key ~attempt =
+  let r = rate t site in
+  if r <= 0.0 then false
+  else
+    let h =
+      avalanche
+        (Content_hash.fnv1a64
+           (Printf.sprintf "%d|%s|%s|%d" t.seed (site_name site) key attempt))
+    in
+    (* Top 53 bits -> uniform float in [0,1). *)
+    let u =
+      Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+    in
+    u < r
+
+let record t site = Atomic.incr t.injected.(site_index site)
+
+let fires t site ~key ~attempt =
+  let yes = decide t site ~key ~attempt in
+  if yes then record t site;
+  yes
+
+let injected t site = Atomic.get t.injected.(site_index site)
+
+let total_injected t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.injected

@@ -1,0 +1,61 @@
+(** Deterministic fault injection for the execution engine.
+
+    Chaos testing with a twist: every injection decision is a {e pure
+    function} of the harness seed, the injection site, the task's cache
+    key, and the attempt number — no mutable generator, no wall clock.  A
+    chaos campaign is therefore exactly as reproducible as a fault-free
+    one: the same faults fire at the same tasks whatever the parallelism,
+    scheduling order, or cache temperature, and [-j N] chaos runs are
+    bit-identical to serial ones.
+
+    A harness is configured from a compact spec string (the [--chaos] flag
+    of the CLIs), e.g. ["seed=7,delay=0.2,crash=0.1"]. *)
+
+type site =
+  | Singular_solve  (** evaluation fails as [Fail.Singular] *)
+  | Nan_perf  (** evaluation fails as [Fail.Non_finite _] *)
+  | Delay  (** the task's deadline "expires": [Fail.Timeout] *)
+  | Crash  (** the worker raises {!Injected_crash}: [Fail.Worker_crash] *)
+  | Corrupt_cache  (** the task's cache entry is damaged before the read *)
+  | Tear_checkpoint  (** the journal tail is truncated after an append *)
+
+exception Injected_crash
+(** Raised inside the supervised computation at a [Crash] site. *)
+
+val all_sites : site list
+val site_name : site -> string
+(** ["singular"], ["nan"], ["delay"], ["crash"], ["cache"], ["tear"] —
+    also the keys of the spec grammar. *)
+
+type t
+
+val create : ?seed:int -> rates:(site * float) list -> unit -> t
+(** Unlisted sites get rate 0.  [seed] defaults to 0.
+    @raise Invalid_argument on a rate outside [0,1]. *)
+
+val parse : string -> (t, string) result
+(** Grammar: comma-separated [key=value] fields, where [key] is [seed] (an
+    integer), a site name, or [all] (sets every site's rate); [value] for
+    rate fields is a float in [0,1].  Later fields override earlier ones.
+    Example: ["seed=11,all=0.05,crash=0.2"]. *)
+
+val to_string : t -> string
+(** Round-trippable spec form, nonzero rates only. *)
+
+val seed : t -> int
+val rate : t -> site -> float
+
+val decide : t -> site -> key:string -> attempt:int -> bool
+(** Pure: would a fault fire at this site for this task attempt?  Makes no
+    record. *)
+
+val record : t -> site -> unit
+(** Count one injection (atomic; safe from worker domains). *)
+
+val fires : t -> site -> key:string -> attempt:int -> bool
+(** {!decide}, recording the injection when it fires. *)
+
+val injected : t -> site -> int
+(** Injections recorded at one site so far. *)
+
+val total_injected : t -> int

@@ -2,6 +2,7 @@ type event =
   | Run_started of { label : string; index : int; total : int }
   | Run_finished of { label : string; index : int; total : int; elapsed_s : float }
   | Run_restored of { label : string; index : int; total : int }
+  | Run_failed of { label : string; index : int; total : int; reason : string }
 
 let render = function
   | Run_started { label; index; total } -> Printf.sprintf "[%d/%d] %s" index total label
@@ -9,8 +10,11 @@ let render = function
     Printf.sprintf "[%d/%d] %s  done in %.1f s" index total label elapsed_s
   | Run_restored { label; index; total } ->
     Printf.sprintf "[%d/%d] %s  restored from checkpoint" index total label
+  | Run_failed { label; index; total; reason } ->
+    Printf.sprintf "[%d/%d] %s  failed: %s" index total label reason
 
 let of_string_renderer f = function
   | Run_started _ as e -> f (render e)
   | Run_restored _ as e -> f (render e)
+  | Run_failed _ as e -> f (render e)
   | Run_finished _ -> ()

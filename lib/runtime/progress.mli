@@ -12,11 +12,15 @@ type event =
   | Run_finished of { label : string; index : int; total : int; elapsed_s : float }
   | Run_restored of { label : string; index : int; total : int }
       (** The run was replayed from the checkpoint journal, not executed. *)
+  | Run_failed of { label : string; index : int; total : int; reason : string }
+      (** The run raised instead of completing; the campaign carries on
+          with an empty trace for this cell rather than aborting the whole
+          grid.  [reason] is the rendered exception. *)
 
 val render : event -> string
 (** One human-readable line, e.g. ["[3/45] S-1 / INTO-OA / run 2"]. *)
 
 val of_string_renderer : (string -> unit) -> event -> unit
-(** Adapt a legacy string callback: forwards {!render} of [Run_started]
-    and [Run_restored] (one line per run, as the old API did) and drops
-    [Run_finished]. *)
+(** Adapt a legacy string callback: forwards {!render} of [Run_started],
+    [Run_restored] and [Run_failed] (one line per run, as the old API did)
+    and drops [Run_finished]. *)

@@ -1,0 +1,139 @@
+module Evaluator = Into_core.Evaluator
+module Fail = Into_core.Fail
+module Sizing = Into_core.Sizing
+
+type policy = {
+  max_retries : int;
+  deadline_s : float option;
+  backoff_s : float;
+}
+
+let default_policy = { max_retries = 2; deadline_s = None; backoff_s = 0.002 }
+
+module Ledger = struct
+  let n_classes = List.length Fail.all_class_names
+
+  type t = {
+    l_failures : int Atomic.t array;  (** per {!Fail.class_index} *)
+    l_retries : int Atomic.t array;
+    recovered : int Atomic.t;
+    gave_up : int Atomic.t;
+  }
+
+  let create () =
+    {
+      l_failures = Array.init n_classes (fun _ -> Atomic.make 0);
+      l_retries = Array.init n_classes (fun _ -> Atomic.make 0);
+      recovered = Atomic.make 0;
+      gave_up = Atomic.make 0;
+    }
+
+  let count_failure t f = Atomic.incr t.l_failures.(Fail.class_index f)
+  let count_retry t f = Atomic.incr t.l_retries.(Fail.class_index f)
+  let count_recovered t = Atomic.incr t.recovered
+  let count_gave_up t = Atomic.incr t.gave_up
+
+  let failures t =
+    List.mapi
+      (fun i name -> (name, Atomic.get t.l_failures.(i)))
+      Fail.all_class_names
+
+  let retries t =
+    List.mapi
+      (fun i name -> (name, Atomic.get t.l_retries.(i)))
+      Fail.all_class_names
+
+  let failures_of t name = List.assoc name (failures t)
+  let retries_of t name = List.assoc name (retries t)
+  let total_failures t = List.fold_left (fun a (_, n) -> a + n) 0 (failures t)
+  let total_retries t = List.fold_left (fun a (_, n) -> a + n) 0 (retries t)
+  let recovered t = Atomic.get t.recovered
+  let gave_up t = Atomic.get t.gave_up
+
+  type row = { class_name : string; n_failures : int; n_retries : int }
+
+  let snapshot t =
+    List.filter_map
+      (fun ((name, nf), (_, nr)) ->
+        if nf = 0 && nr = 0 then None
+        else Some { class_name = name; n_failures = nf; n_retries = nr })
+      (List.combine (failures t) (retries t))
+end
+
+(* A numerical failure is a deterministic function of the task seed:
+   retrying unchanged would fail identically, so the retry derives a fresh
+   seed by SplitMix-mixing (seed, attempt).  Deterministic — the same
+   (task, attempt) always re-seeds the same way, on any domain. *)
+let attempt_seed ~task_seed ~attempt =
+  let g = Into_util.Splitmix.create (Hashtbl.hash (task_seed, attempt)) in
+  Int64.to_int (Into_util.Splitmix.next_int64 g) land max_int
+
+let with_deadline ~policy (task : Evaluator.task) =
+  match (policy.deadline_s, task.Evaluator.task_sizing.Sizing.deadline_s) with
+  | None, _ | _, Some _ -> task
+  | Some _, None ->
+    {
+      task with
+      Evaluator.task_sizing =
+        { task.Evaluator.task_sizing with Sizing.deadline_s = policy.deadline_s };
+    }
+
+let inject faultin ~key ~attempt =
+  Option.bind faultin (fun fi ->
+      if Faultin.fires fi Faultin.Crash ~key ~attempt then
+        Some (Evaluator.Failed Fail.Worker_crash)
+      else if Faultin.fires fi Faultin.Delay ~key ~attempt then
+        Some (Evaluator.Failed Fail.Timeout)
+      else if Faultin.fires fi Faultin.Singular_solve ~key ~attempt then
+        Some (Evaluator.Failed Fail.Singular)
+      else if Faultin.fires fi Faultin.Nan_perf ~key ~attempt then
+        Some
+          (Evaluator.Failed
+             (Fail.Non_finite "chaos-injected non-finite performance"))
+      else None)
+
+let run ?faultin ?ledger ~policy ~key ~compute (task : Evaluator.task) =
+  let task = with_deadline ~policy task in
+  let count f = Option.iter (fun l -> f l) ledger in
+  let rec attempt k t =
+    let outcome =
+      match inject faultin ~key ~attempt:k with
+      | Some injected -> injected
+      | None -> (
+        match compute t with
+        | o -> o
+        | exception Faultin.Injected_crash -> Evaluator.Failed Fail.Worker_crash
+        | exception _ -> Evaluator.Failed Fail.Worker_crash)
+    in
+    match outcome with
+    | Evaluator.Evaluated _ | Evaluator.Rejected _ ->
+      if k > 0 then count Ledger.count_recovered;
+      outcome
+    | Evaluator.Failed f ->
+      count (fun l -> Ledger.count_failure l f);
+      if k >= policy.max_retries then begin
+        count Ledger.count_gave_up;
+        outcome
+      end
+      else begin
+        count (fun l -> Ledger.count_retry l f);
+        if Fail.environmental f then begin
+          (* The computation itself is presumed sound: re-run the SAME
+             task, after an exponential backoff, so a transient fault
+             recovers the exact fault-free result. *)
+          if policy.backoff_s > 0.0 then
+            Unix.sleepf (policy.backoff_s *. (2.0 ** float_of_int k));
+          attempt (k + 1) t
+        end
+        else
+          (* Deterministically fails under this seed: derive a new one. *)
+          attempt (k + 1)
+            {
+              t with
+              Evaluator.task_seed =
+                attempt_seed ~task_seed:task.Evaluator.task_seed
+                  ~attempt:(k + 1);
+            }
+      end
+  in
+  attempt 0 task

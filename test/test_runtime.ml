@@ -199,6 +199,7 @@ let test_resume_completes_exactly_once () =
     | Progress.Run_restored _ -> incr restored
     | Progress.Run_started _ -> incr started
     | Progress.Run_finished _ -> incr finished
+    | Progress.Run_failed _ -> Alcotest.fail "no run should fail"
   in
   let full = run_campaign ~progress ~runtime:(Exec.create ~jobs:1 ~checkpoint:ck2 ()) () in
   Checkpoint.close ck2;
